@@ -1,0 +1,60 @@
+"""Performance micro-benchmarks of the simulation substrate itself.
+
+These are conventional wall-clock benchmarks (pytest-benchmark's home
+turf): how fast the kernel processes events, how expensive a full §6
+fail-over trial is, and how much simulated traffic the LAN sustains.
+They guard against regressions that would make the paper sweeps slow.
+"""
+
+from repro.experiments.runner import run_failover_trial
+from repro.gcs.config import SpreadConfig
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.scheduler import Scheduler
+from repro.sim.simulation import Simulation
+
+
+def bench_scheduler_event_throughput(benchmark):
+    def run():
+        scheduler = Scheduler()
+        for index in range(20_000):
+            scheduler.after(index * 0.001, lambda: None)
+        scheduler.run()
+        return scheduler.events_fired
+
+    fired = benchmark(run)
+    assert fired == 20_000
+
+
+def bench_lan_broadcast_delivery(benchmark):
+    def run():
+        sim = Simulation(seed=0, trace_enabled=False)
+        lan = Lan(sim, "lan", "10.0.0.0/24")
+        hosts = []
+        for index in range(10):
+            host = Host(sim, "h{}".format(index))
+            host.add_nic(lan, "10.0.0.{}".format(1 + index))
+            host.open_udp(100, lambda p, s, d: None)
+            hosts.append(host)
+        for round_index in range(200):
+            hosts[round_index % 10].send_udp(
+                round_index, "10.0.0.255", 100, src_port=1
+            )
+            sim.run_until_idle()
+        return lan.frames_delivered
+
+    delivered = benchmark(run)
+    assert delivered > 0
+
+
+def bench_full_failover_trial_tuned(benchmark):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        return run_failover_trial(
+            seed=9000 + counter[0], cluster_size=4, spread_config=SpreadConfig.tuned()
+        )
+
+    result = benchmark(run)
+    assert result.interruption is not None

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures (or an
+ablation of a §3.4 design choice), asserts the paper-shape claim, and
+prints the paper-style rows so `pytest benchmarks/ --benchmark-only`
+reproduces the evaluation section end to end.
+
+The wall-clock numbers pytest-benchmark reports measure *simulation
+cost*; the reproduced quantities are in simulated seconds and are
+attached to each benchmark's ``extra_info`` and printed.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def paper_report(capsys):
+    """Print a paper-style block so it survives pytest's capture."""
+
+    def emit(text):
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return emit

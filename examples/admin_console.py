@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The administrative control channel (§4.2) in action.
+
+Boots a small cluster, then drives one daemon through the operator
+command surface: inspect status and the allocation table, hand an
+address off, change preferences, and finally drain the server
+gracefully.
+
+Run:  python examples/admin_console.py
+"""
+
+from repro.core import AdminConsole, WackamoleConfig, WackamoleDaemon
+from repro.gcs import SpreadConfig, SpreadDaemon
+from repro.net import Host, Lan
+from repro.sim import Simulation
+
+
+def issue(console, line, sim=None, settle=0.0):
+    print("wackatrl> {}".format(line))
+    response = console.execute(line)
+    for row in response.splitlines():
+        print("  {}".format(row))
+    if sim is not None and settle:
+        sim.run_for(settle)
+
+
+def main():
+    sim = Simulation(seed=21)
+    lan = Lan(sim, "lan0", "10.0.0.0/24")
+    vips = ["10.0.0.{}".format(100 + i) for i in range(4)]
+    config = WackamoleConfig.for_vips(vips, maturity_timeout=1.0, balance_timeout=2.0)
+
+    wacks = []
+    for index in range(3):
+        host = Host(sim, "server{}".format(index + 1))
+        host.add_nic(lan, "10.0.0.{}".format(10 + index))
+        spread = SpreadDaemon(host, lan, SpreadConfig.tuned())
+        wack = WackamoleDaemon(host, spread, config)
+        sim.after(0.05 * index, spread.start)
+        sim.after(0.05 * index + 0.01, wack.start)
+        wacks.append(wack)
+
+    sim.run_for(8.0)
+    console = AdminConsole(wacks[0])
+    issue(console, "help")
+    issue(console, "status")
+    issue(console, "vips")
+    issue(console, "table")
+
+    owned = wacks[0].iface.owned_slots()[0]
+    issue(console, "release {}".format(owned), sim=sim, settle=5.0)
+    print("  (after the next balance round:)")
+    issue(console, "table")
+
+    issue(console, "prefer {}".format(vips[0]))
+    issue(console, "shutdown", sim=sim, settle=5.0)
+    print("\nremaining cluster, seen from server2:")
+    issue(AdminConsole(wacks[1]), "status")
+    issue(AdminConsole(wacks[1]), "table")
+
+
+if __name__ == "__main__":
+    main()

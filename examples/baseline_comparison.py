@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Wackamole vs the related fail-over protocols of §7.
+
+Runs the same crash fault against Wackamole (both Table 1 Spread
+configurations), VRRP (RFC 2338 defaults), Cisco-style HSRP (3 s
+hellos, 10 s hold) and a Linux-Fake-style prober, and prints the mean
+client-perceived interruption for each.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.experiments import BaselineComparison
+
+
+def main():
+    comparison = BaselineComparison(trials=3)
+    results = comparison.run()
+    print(comparison.format(results))
+    print(
+        "\nNote the qualitative difference §7 stresses: VRRP/HSRP/Fake\n"
+        "protect ONE address with designated backups, while Wackamole\n"
+        "provides N-way coverage of a whole address pool with partition\n"
+        "merge handling — at a comparable (tuned) fail-over time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Reproduction of "N-Way Fail-Over Infrastructure for Reliable Servers
+and Routers" (Amir, Caudy, Munjal, Schlossnagle, Tutu - DSN 2003), the
+Wackamole system.
+
+Subpackages, bottom-up:
+
+* :mod:`repro.sim` - deterministic discrete-event simulation kernel.
+* :mod:`repro.net` - simulated LAN: NICs with virtual-IP binding, ARP
+  caches and spoofing, UDP, IP routers, partitions and fault injection.
+* :mod:`repro.gcs` - a Spread-like group communication system: daemon
+  membership with the Table 1 timeouts, Virtual Synchrony, agreed
+  (totally ordered) delivery, client sessions and process groups.
+* :mod:`repro.core` - **Wackamole**, the paper's contribution: the
+  RUN/GATHER/BALANCE state machine, deterministic conflict resolution
+  and reallocation, load balancing, maturity bootstrap, indivisible
+  router VIP groups, interface control, ARP notification, and the
+  administrative channel.
+* :mod:`repro.baselines` - VRRP, HSRP and Linux-Fake comparison
+  protocols with the paper-quoted default timers.
+* :mod:`repro.apps` - the web-cluster (Fig. 3) and virtual-router
+  (Fig. 4) deployments plus a RIP-style dynamic routing stand-in.
+* :mod:`repro.experiments` - regenerates every table and figure of the
+  evaluation (section 6) with the paper's measurement methodology.
+
+Entry point for most uses: build a :class:`repro.sim.Simulation`, wire
+hosts and daemons (or use a scenario builder from :mod:`repro.apps`),
+run, and audit with :class:`repro.core.CoverageAuditor`.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the experiment command-line interface."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

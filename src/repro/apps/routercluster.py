@@ -1,0 +1,268 @@
+"""The Figure 4 layout: N-way fail-over for routers.
+
+Multiple physical routers act as one *virtual router* present on three
+networks (external, visible/web, private/db). The virtual router's
+addresses — one per network — form an indivisible VIP group that
+Wackamole moves as a unit, so whichever physical router holds them can
+route between all three networks.
+
+Three routing modes reproduce §5.2:
+
+* ``static`` — no dynamic routing anywhere; pure fail-over cost.
+* ``naive`` — only the active router participates in the dynamic
+  routing protocol; after a fail-over the new active router must wait
+  for the next advertisement round (~30 s with RIP defaults) before it
+  can forward off-link traffic.
+* ``advertise_all`` — every physical router participates continuously
+  and advertises the internal networks, so a fail-over costs only the
+  Wackamole reconfiguration.
+"""
+
+from repro.apps.routing import RipSpeaker
+from repro.apps.workload import ProbeClient, UdpEchoServer
+from repro.core.audit import CoverageAuditor
+from repro.core.config import VipGroup, WackamoleConfig
+from repro.core.daemon import WackamoleDaemon
+from repro.gcs.config import SpreadConfig
+from repro.gcs.daemon import SpreadDaemon
+from repro.net.fault import FaultInjector
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.net.router import Router
+from repro.sim.process import Process
+from repro.sim.simulation import Simulation
+
+VIRTUAL_ROUTER_SLOT = "virtual-router"
+
+EXTERNAL_SUBNET = "198.51.100.0/24"
+VISIBLE_SUBNET = "203.0.113.0/24"
+PRIVATE_SUBNET = "192.168.0.0/24"
+INTERNET_SUBNET = "8.8.8.0/24"
+
+EXTERNAL_VIP = "198.51.100.1"
+VISIBLE_VIP = "203.0.113.101"
+PRIVATE_VIP = "192.168.0.1"
+
+
+class _OwnershipController(Process):
+    """Couples RIP listening to virtual-router ownership (naive mode)."""
+
+    def __init__(self, wack, speakers, poll_interval=0.25):
+        super().__init__(wack.sim, "ripctl@{}".format(wack.host.name))
+        self.wack = wack
+        self.speakers = speakers
+        wack.host.register_service(self)
+        self._poll = self.periodic(self._check, poll_interval, name="poll")
+
+    def start(self):
+        self._poll.start(first_delay=0.0)
+
+    def _check(self):
+        active = self.wack.iface.owns(VIRTUAL_ROUTER_SLOT)
+        for speaker in self.speakers:
+            speaker.set_listening(active)
+
+
+class RouterClusterScenario:
+    """Builds and runs one virtual-router deployment."""
+
+    def __init__(
+        self,
+        seed=0,
+        n_routers=2,
+        routing_mode="static",
+        spread_config=None,
+        wackamole_overrides=None,
+        rip_interval=30.0,
+        probe_interval=0.010,
+        trace_enabled=True,
+        arp_share=False,
+    ):
+        if routing_mode not in ("static", "naive", "advertise_all"):
+            raise ValueError("unknown routing mode {!r}".format(routing_mode))
+        self.routing_mode = routing_mode
+        self.sim = Simulation(seed=seed, trace_enabled=trace_enabled)
+        self.spread_config = spread_config or SpreadConfig.tuned()
+        self.faults = FaultInjector(self.sim)
+
+        self.external = Lan(self.sim, "external", EXTERNAL_SUBNET)
+        self.visible = Lan(self.sim, "visible", VISIBLE_SUBNET)
+        self.private = Lan(self.sim, "private", PRIVATE_SUBNET)
+        self.internet = Lan(self.sim, "internet", INTERNET_SUBNET)
+
+        # Upstream router: the organisation's border toward the internet.
+        self.upstream = Router(self.sim, "upstream")
+        self.upstream.add_nic(self.external, "198.51.100.254")
+        self.upstream.add_nic(self.internet, "8.8.8.1")
+
+        # The machine "on the internet" running the probed service.
+        self.internet_host = Host(self.sim, "internet-host")
+        self.internet_host.add_nic(self.internet, "8.8.8.8")
+        self.internet_host.set_default_gateway("8.8.8.1")
+        self.echo = UdpEchoServer(self.internet_host)
+
+        # Internal hosts on the two served networks.
+        self.web_host = Host(self.sim, "web-host")
+        self.web_host.add_nic(self.visible, "203.0.113.10")
+        self.web_host.set_default_gateway(VISIBLE_VIP)
+        self.db_host = Host(self.sim, "db-host")
+        self.db_host.add_nic(self.private, "192.168.0.10")
+        self.db_host.set_default_gateway(PRIVATE_VIP)
+
+        self.probe_interval = probe_interval
+        self.rip_interval = rip_interval
+        overrides = dict(wackamole_overrides or {})
+        overrides.setdefault("balance_enabled", False)
+        if arp_share:
+            # §5.2: daemons periodically exchange their ARP caches so a
+            # new owner can notify exactly the hosts that resolved the
+            # virtual router's MAC, instead of broadcasting.
+            overrides.setdefault("arp_share_interval", 5.0)
+        vip_group = VipGroup(
+            VIRTUAL_ROUTER_SLOT, [EXTERNAL_VIP, VISIBLE_VIP, PRIVATE_VIP]
+        )
+        self.wackamole_config = WackamoleConfig([vip_group], **overrides)
+
+        self.routers = []
+        self.spreads = []
+        self.wacks = []
+        self.speakers = []
+        self.controllers = []
+        for index in range(n_routers):
+            router = Router(self.sim, "router{}".format(index + 1))
+            router.add_nic(self.external, "198.51.100.{}".format(2 + index))
+            router.add_nic(self.visible, "203.0.113.{}".format(102 + index))
+            router.add_nic(self.private, "192.168.0.{}".format(2 + index))
+            spread = SpreadDaemon(router, self.private, self.spread_config)
+            wack = WackamoleDaemon(router, spread, self.wackamole_config)
+            self.routers.append(router)
+            self.spreads.append(spread)
+            self.wacks.append(wack)
+            self._setup_routing(router)
+
+        self._setup_upstream_routing()
+        self.auditor = CoverageAuditor(self.wacks)
+        self.probe = None
+
+    # ------------------------------------------------------------------
+    # routing plumbing
+
+    def _setup_routing(self, router):
+        if self.routing_mode == "static":
+            router.add_route(INTERNET_SUBNET, "198.51.100.254")
+            return
+        originate = (
+            (VISIBLE_SUBNET, PRIVATE_SUBNET)
+            if self.routing_mode == "advertise_all"
+            else ()
+        )
+        speaker = RipSpeaker(
+            router,
+            self.external,
+            originate=originate,
+            interval=self.rip_interval,
+            listening=(self.routing_mode == "advertise_all"),
+        )
+        self.speakers.append(speaker)
+        if self.routing_mode == "naive":
+            controller = _OwnershipController(
+                self.wacks[self.routers.index(router)], [speaker]
+            )
+            self.controllers.append(controller)
+
+    def _setup_upstream_routing(self):
+        if self.routing_mode == "advertise_all":
+            # The border router learns the internal networks dynamically
+            # from whichever physical routers are alive.
+            self.upstream_speaker = RipSpeaker(
+                self.upstream,
+                self.external,
+                originate=(INTERNET_SUBNET,),
+                interval=self.rip_interval,
+                listening=True,
+            )
+        else:
+            self.upstream.add_route(VISIBLE_SUBNET, EXTERNAL_VIP)
+            self.upstream.add_route(PRIVATE_SUBNET, EXTERNAL_VIP)
+            if self.routing_mode == "naive":
+                self.upstream_speaker = RipSpeaker(
+                    self.upstream,
+                    self.external,
+                    originate=(INTERNET_SUBNET,),
+                    interval=self.rip_interval,
+                    listening=False,
+                )
+            else:
+                self.upstream_speaker = None
+
+    # ------------------------------------------------------------------
+
+    def start(self, stagger=0.05):
+        """Boot every daemon (GCS, Wackamole, routing, controllers)."""
+        for index, (spread, wack) in enumerate(zip(self.spreads, self.wacks)):
+            self.sim.after(stagger * index, spread.start)
+            self.sim.after(stagger * index + 0.01, wack.start)
+        for speaker in self.speakers:
+            self.sim.after(0.02, speaker.start)
+        if self.upstream_speaker is not None:
+            self.sim.after(0.02, self.upstream_speaker.start)
+        for controller in self.controllers:
+            self.sim.after(0.03, controller.start)
+        return self
+
+    def start_probe(self, source="db"):
+        """Probe the internet service from an internal host (§5.2 path)."""
+        host = self.db_host if source == "db" else self.web_host
+        self.probe = ProbeClient(host, "8.8.8.8", interval=self.probe_interval)
+        self.probe.start()
+        return self.probe
+
+    def run_until_stable(self, timeout=120.0, extra=0.5):
+        """Run until the virtual router is owned once and all RUN."""
+        from repro.core.state import RUN
+
+        deadline = self.sim.now + timeout
+        step = max(self.spread_config.heartbeat_timeout / 2.0, 0.1)
+        while self.sim.now < deadline:
+            self.sim.run_for(step)
+            live = [w for w in self.wacks if w.alive]
+            if (
+                live
+                and all(w.machine.state == RUN and w.mature for w in live)
+                and not self.auditor.check()
+                and self._routing_ready()
+            ):
+                self.sim.run_for(extra)
+                return True
+        return False
+
+    def _routing_ready(self):
+        active = self.active_router()
+        if active is None:
+            return False
+        if self.routing_mode == "static":
+            return True
+        router = active.host
+        return router.lookup_route("8.8.8.8") is not None
+
+    # ------------------------------------------------------------------
+
+    def active_router(self):
+        """The Wackamole daemon currently holding the virtual router."""
+        for wack in self.wacks:
+            if wack.alive and wack.iface.owns(VIRTUAL_ROUTER_SLOT):
+                return wack
+        return None
+
+    def fail_active(self, mode="crash"):
+        """Fail the active physical router; returns the victim."""
+        active = self.active_router()
+        if active is None:
+            raise RuntimeError("no active virtual router")
+        if mode == "crash":
+            self.faults.crash_host(active.host)
+        elif mode == "shutdown":
+            active.shutdown()
+        else:
+            raise ValueError("unknown fault mode {!r}".format(mode))
+        return active

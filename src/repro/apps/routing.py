@@ -1,0 +1,140 @@
+"""Simplified distance-vector dynamic routing (the OSPF/RIP stand-in).
+
+§5.2: a fail-over router using a dynamic routing protocol "needs to be
+updated with the current state of the relevant dynamic routing tables
+before it is able to route messages properly. This usually takes
+around 30 seconds." That delay comes from the advertisement period —
+RIP's default is 30 s — which this module reproduces: speakers
+broadcast their routes periodically; a router that just became active
+(naive setup) must wait for the next advertisement round before it can
+forward off-link traffic.
+
+The alternate setup ("all the participating fail-over routers act as
+separate entities in the dynamic routing protocol") maps to keeping
+``listening`` permanently enabled on every physical router.
+"""
+
+from repro.net.addresses import Subnet
+from repro.sim.process import Process
+
+RIP_PORT = 520
+
+
+class RouteAdvertisement:
+    """One periodic routing update: (subnet, metric) pairs."""
+
+    __slots__ = ("sender", "routes")
+
+    def __init__(self, sender, routes):
+        self.sender = sender
+        self.routes = tuple(routes)
+
+    def __repr__(self):
+        return "RouteAdvertisement({}, {} routes)".format(self.sender, len(self.routes))
+
+
+class RipSpeaker(Process):
+    """One routing-protocol instance on one router interface."""
+
+    INFINITY = 16
+
+    def __init__(
+        self,
+        router,
+        lan,
+        originate=(),
+        interval=30.0,
+        route_ttl=90.0,
+        listening=True,
+        propagate=False,
+    ):
+        super().__init__(router.sim, "rip@{}.{}".format(router.name, lan.name))
+        self.router = router
+        self.lan = lan
+        self.originate = tuple(Subnet(s) for s in originate)
+        self.interval = float(interval)
+        self.route_ttl = float(route_ttl)
+        self.listening = listening
+        self.propagate = propagate
+        self._learned = {}
+        router.register_service(self)
+        self._socket = router.open_udp(RIP_PORT, self._on_advertisement)
+        self._advert_timer = self.periodic(self._advertise, self.interval, name="advert")
+        self._gc_timer = self.periodic(self._expire_routes, self.route_ttl / 3.0, name="gc")
+        self.advertisements_sent = 0
+        self.routes_learned = 0
+
+    @property
+    def source_tag(self):
+        """Route-table source label for entries this speaker installs."""
+        return "rip:{}".format(self.name)
+
+    def start(self):
+        """Begin advertising and (if listening) learning."""
+        self._advert_timer.start(first_delay=0.0)
+        self._gc_timer.start()
+
+    def set_listening(self, listening):
+        """Enable/disable route learning (the naive §5.2 setup toggles
+        this with virtual-router ownership); disabling flushes state."""
+        if self.listening == listening:
+            return
+        self.listening = listening
+        if not listening:
+            self._learned.clear()
+            self.router.remove_routes_from(self.source_tag)
+        self.trace("rip", "listening", enabled=listening)
+
+    # ------------------------------------------------------------------
+
+    def _advertise(self):
+        routes = [(str(subnet), 1) for subnet in self.originate]
+        if self.propagate:
+            routes.extend(
+                (str(subnet), metric + 1)
+                for subnet, (metric, _, _) in sorted(
+                    self._learned.items(), key=lambda item: str(item[0])
+                )
+                if metric + 1 < self.INFINITY
+            )
+        if not routes:
+            return
+        self.advertisements_sent += 1
+        self.router.send_udp(
+            RouteAdvertisement(self.router.name, routes),
+            self.lan.subnet.broadcast_address,
+            RIP_PORT,
+            src_port=RIP_PORT,
+        )
+
+    def _on_advertisement(self, advert, src, dst):
+        if not self.alive or not self.listening:
+            return
+        if not isinstance(advert, RouteAdvertisement):
+            return
+        if advert.sender == self.router.name:
+            return
+        gateway = src[0]
+        for subnet_text, metric in advert.routes:
+            subnet = Subnet(subnet_text)
+            if metric >= self.INFINITY:
+                continue
+            known = self._learned.get(subnet)
+            if known is None or metric <= known[0]:
+                self._learned[subnet] = (metric, gateway, self.now)
+                self.router.add_route(subnet, gateway, source=self.source_tag)
+                self.routes_learned += 1
+
+    def _expire_routes(self):
+        expired = [
+            subnet
+            for subnet, (_, _, learned_at) in self._learned.items()
+            if self.now - learned_at > self.route_ttl
+        ]
+        for subnet in expired:
+            del self._learned[subnet]
+            self.router.remove_route(subnet)
+
+    def learned_subnets(self):
+        """Subnets currently held from advertisements."""
+        return sorted(str(subnet) for subnet in self._learned)

@@ -1,0 +1,144 @@
+"""The Figure 3 layout: N-way fail-over for a web cluster.
+
+One router fronts a LAN of web servers. Every server runs a GCS daemon
+and a Wackamole daemon managing a shared pool of virtual addresses;
+an echo service stands in for the web server; a probe client on the
+same segment measures availability exactly as in §6.
+"""
+
+from repro.apps.workload import ProbeClient, UdpEchoServer
+from repro.core.audit import CoverageAuditor
+from repro.core.config import WackamoleConfig
+from repro.core.daemon import WackamoleDaemon
+from repro.gcs.config import SpreadConfig
+from repro.gcs.daemon import SpreadDaemon
+from repro.net.fault import FaultInjector
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.net.router import Router
+from repro.sim.simulation import Simulation
+
+
+class WebClusterScenario:
+    """Builds and runs one simulated web cluster."""
+
+    SUBNET = "198.51.100.0/24"
+
+    def __init__(
+        self,
+        seed=0,
+        n_servers=3,
+        n_vips=10,
+        spread_config=None,
+        wackamole_overrides=None,
+        probe_interval=0.010,
+        trace_enabled=True,
+        sim=None,
+    ):
+        self.sim = sim if sim is not None else Simulation(seed=seed, trace_enabled=trace_enabled)
+        self.lan = Lan(self.sim, "cluster", self.SUBNET)
+        self.spread_config = spread_config or SpreadConfig.default()
+        self.faults = FaultInjector(self.sim)
+
+        self.router = Router(self.sim, "router")
+        self.router.add_nic(self.lan, "198.51.100.1")
+
+        self.vips = ["198.51.100.{}".format(150 + i) for i in range(n_vips)]
+        overrides = dict(wackamole_overrides or {})
+        overrides.setdefault("notify_ips", ("198.51.100.1",))
+        self.wackamole_config = WackamoleConfig.for_vips(self.vips, **overrides)
+
+        self.hosts = []
+        self.spreads = []
+        self.wacks = []
+        self.echo_servers = []
+        for index in range(n_servers):
+            host = Host(self.sim, "web{}".format(index + 1))
+            host.add_nic(self.lan, "198.51.100.{}".format(10 + index))
+            host.set_default_gateway("198.51.100.1")
+            spread = SpreadDaemon(host, self.lan, self.spread_config)
+            wack = WackamoleDaemon(host, spread, self.wackamole_config)
+            self.hosts.append(host)
+            self.spreads.append(spread)
+            self.wacks.append(wack)
+            self.echo_servers.append(UdpEchoServer(host))
+
+        self.client_host = Host(self.sim, "client")
+        self.client_host.add_nic(self.lan, "198.51.100.200")
+        self.client_host.set_default_gateway("198.51.100.1")
+        self.probe = None
+        self.probe_interval = probe_interval
+        self.auditor = CoverageAuditor(self.wacks)
+
+    # ------------------------------------------------------------------
+
+    def start(self, stagger=0.05):
+        """Boot daemons with a small start stagger (like real init)."""
+        for index, (spread, wack) in enumerate(zip(self.spreads, self.wacks)):
+            self.sim.after(stagger * index, spread.start)
+            self.sim.after(stagger * index + 0.01, wack.start)
+        return self
+
+    def start_probe(self, vip=None):
+        """Attach the §6 probe client to one virtual address."""
+        target = vip if vip is not None else self.vips[0]
+        self.probe = ProbeClient(self.client_host, target, interval=self.probe_interval)
+        self.probe.start()
+        return self.probe
+
+    def run_until_stable(self, timeout=60.0, extra=0.5):
+        """Run until every daemon reaches RUN and coverage is complete."""
+        from repro.core.state import RUN
+
+        deadline = self.sim.now + timeout
+        step = max(self.spread_config.heartbeat_timeout / 2.0, 0.1)
+        while self.sim.now < deadline:
+            self.sim.run_for(step)
+            live = [w for w in self.wacks if w.alive]
+            if (
+                live
+                and all(w.machine.state == RUN and w.mature for w in live)
+                and not self.auditor.check()
+            ):
+                self.sim.run_for(extra)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+
+    def owner_of(self, vip):
+        """The Wackamole daemon currently binding ``vip``, or None."""
+        for wack in self.wacks:
+            if wack.alive and wack.host.owns_ip(vip):
+                return wack
+        return None
+
+    def coverage(self):
+        """{vip: [host names binding it]} over live servers."""
+        result = {}
+        for vip in self.vips:
+            result[vip] = [
+                w.host.name for w in self.wacks if w.alive and w.host.owns_ip(vip)
+            ]
+        return result
+
+    def kill_owner_of(self, vip, mode="nic_down"):
+        """Inject the §6 fault against the current owner of ``vip``.
+
+        ``nic_down`` disconnects the interface (the paper's fault);
+        ``crash`` fail-stops the whole host; ``shutdown`` leaves
+        gracefully. Returns the victim daemon.
+        """
+        owner = self.owner_of(vip)
+        if owner is None:
+            raise RuntimeError("no live owner for {}".format(vip))
+        if mode == "nic_down":
+            self.faults.nic_down(owner.host.nic_on(self.lan))
+        elif mode == "crash":
+            self.faults.crash_host(owner.host)
+        elif mode == "shutdown":
+            owner.shutdown()
+        else:
+            raise ValueError("unknown fault mode {!r}".format(mode))
+        return owner

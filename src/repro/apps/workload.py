@@ -1,0 +1,165 @@
+"""The §6 measurement workload.
+
+"We place a simple server process on each computer using Wackamole.
+The server responds to UDP packets by sending a packet containing its
+hostname. A client process on another computer is instructed to
+continuously access a specific virtual address by sending UDP request
+packets at a specified interval, and record the hostname of the server
+that responds as well as the time since the last response was
+received. For our experiments, we used a 10ms interval."
+"""
+
+from repro.net.addresses import IPAddress
+from repro.sim.process import Process
+
+ECHO_PORT = 8080
+
+
+class UdpEchoServer:
+    """The experimental server: replies with its hostname.
+
+    Replies are sent *from the virtual address the request targeted*,
+    so the client's reply path exercises the same ARP state a real
+    service would.
+    """
+
+    def __init__(self, host, port=ECHO_PORT):
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        self._socket = host.open_udp(port, self._respond)
+
+    def _respond(self, payload, src, dst):
+        if not isinstance(payload, tuple) or payload[0] != "req":
+            return
+        self.requests_served += 1
+        seq = payload[1]
+        self.host.send_udp(
+            ("resp", seq, self.host.name),
+            src[0],
+            src[1],
+            src_port=self.port,
+            src_ip=dst[0],
+        )
+
+    def close(self):
+        """Stop serving."""
+        self._socket.close()
+
+
+class ProbeResponse:
+    """One recorded reply: arrival time, probe sequence, responding host."""
+
+    __slots__ = ("time", "seq", "server")
+
+    def __init__(self, time, seq, server):
+        self.time = time
+        self.seq = seq
+        self.server = server
+
+    def __repr__(self):
+        return "ProbeResponse(t={:.4f}, seq={}, {})".format(self.time, self.seq, self.server)
+
+
+class ProbeClient(Process):
+    """The experimental client probing one virtual address.
+
+    The measured quantity — the *availability interruption time* — is
+    "the time elapsed between the receipt of the last response from
+    the disabled computer and the first response from the new server"
+    and is an upper bound on the actual interruption (granularity: one
+    probe interval).
+    """
+
+    CLIENT_PORT = 8081
+
+    def __init__(self, host, target, interval=0.010, port=ECHO_PORT, client_port=None):
+        super().__init__(host.sim, "probe@{}:{}".format(host.name, target))
+        self.host = host
+        self.target = IPAddress(target)
+        self.interval = float(interval)
+        self.port = port
+        self.requests_sent = 0
+        self.responses = []
+        host.register_service(self)
+        if client_port is None:
+            client_port = self._free_port(host, self.CLIENT_PORT)
+        self.client_port = client_port
+        self._socket = host.open_udp(self.client_port, self._on_response)
+        self._send_timer = self.periodic(self._send_probe, self.interval, name="probe")
+        self._seq = 0
+
+    def start(self):
+        """Begin probing every ``interval`` seconds."""
+        self._send_timer.start(first_delay=0.0)
+
+    def stop_probing(self):
+        """Stop sending (keeps recorded responses)."""
+        self._send_timer.stop()
+
+    @staticmethod
+    def _free_port(host, start):
+        """First unbound port at or above ``start`` (several probes may
+        share one client host, e.g. one per VIP)."""
+        bound = {socket.port for socket in host._sockets}
+        port = start
+        while port in bound:
+            port += 1
+        return port
+
+    def _send_probe(self):
+        self._seq += 1
+        self.requests_sent += 1
+        self.host.send_udp(
+            ("req", self._seq), self.target, self.port, src_port=self.client_port
+        )
+
+    def _on_response(self, payload, src, dst):
+        if not self.alive or not isinstance(payload, tuple) or payload[0] != "resp":
+            return
+        _, seq, server = payload
+        self.responses.append(ProbeResponse(self.now, seq, server))
+
+    # ------------------------------------------------------------------
+    # measurement
+
+    def servers_seen(self):
+        """Distinct responding hostnames, in first-seen order."""
+        seen = []
+        for response in self.responses:
+            if response.server not in seen:
+                seen.append(response.server)
+        return seen
+
+    def failover_interruption(self, after=0.0):
+        """Interruption across the first server change following ``after``.
+
+        Returns the gap in seconds between the last reply from the old
+        server and the first reply from its successor, or None if no
+        server change is observed.
+        """
+        previous = None
+        for response in self.responses:
+            if previous is not None and response.time > after:
+                if response.server != previous.server:
+                    return response.time - previous.time
+            previous = response
+        return None
+
+    def longest_gap(self, after=0.0, until=None):
+        """The longest silence between consecutive replies after ``after``."""
+        longest = 0.0
+        previous = None
+        for response in self.responses:
+            if until is not None and response.time > until:
+                break
+            if previous is not None and response.time > after:
+                longest = max(longest, response.time - previous.time)
+            previous = response
+        return longest
+
+    def response_rate(self):
+        """Fraction of probes answered so far."""
+        if self.requests_sent == 0:
+            return 0.0
+        return len(self.responses) / self.requests_sent

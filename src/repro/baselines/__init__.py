@@ -1,0 +1,23 @@
+"""Baseline fail-over protocols from the paper's related work (§7).
+
+Implemented with the default timers the paper quotes, for the
+comparison benches:
+
+* :class:`VrrpRouter` — VRRP (RFC 2338): advertisement interval 1 s,
+  master-down interval ``3 x advert + skew``;
+* :class:`HsrpRouter` — Cisco HSRP: hello every 3 s, active/standby
+  timeouts of 10 s;
+* :class:`FakeFailover` — the Linux Fake project: service probing plus
+  gratuitous ARP takeover by a designated backup.
+
+Unlike Wackamole these provide 1(+backup) fail-over for a *single*
+virtual address (set), not N-way coverage of an address pool, and none
+gives partition-merge conflict resolution — which is exactly the
+comparison the paper draws.
+"""
+
+from repro.baselines.fake import FakeFailover
+from repro.baselines.hsrp import HsrpRouter
+from repro.baselines.vrrp import VrrpRouter
+
+__all__ = ["FakeFailover", "HsrpRouter", "VrrpRouter"]

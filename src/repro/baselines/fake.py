@@ -1,0 +1,115 @@
+"""The Linux Fake project — baseline (§7).
+
+"Provides IP fail-over through service-probing and ARP-spoofing. The
+availability of the main server is probed regularly and upon failure
+detection a backup server instantiates a virtual IP interface that
+will take over the failed one and send a gratuitous ARP request to
+accelerate the transition."
+
+Pairwise only: one designated backup probes one main server. No
+merge/conflict handling — if the main comes back, both answer until an
+operator intervenes (the backup here optionally yields when a probe
+reply reappears, which is the common scripted extension).
+"""
+
+from repro.net.addresses import IPAddress
+from repro.sim.process import Process
+
+FAKE_PROBE_PORT = 1490
+
+
+class FakeFailover(Process):
+    """Backup server probing a main server's address."""
+
+    def __init__(
+        self,
+        host,
+        lan,
+        vip,
+        probe_target,
+        probe_interval=1.0,
+        probe_timeout=0.5,
+        failure_threshold=3,
+        yield_on_return=False,
+    ):
+        super().__init__(host.sim, "fake@{}".format(host.name))
+        self.host = host
+        self.lan = lan
+        self.vip = IPAddress(vip)
+        self.probe_target = IPAddress(probe_target)
+        self.probe_interval = float(probe_interval)
+        self.probe_timeout = float(probe_timeout)
+        self.failure_threshold = int(failure_threshold)
+        self.yield_on_return = yield_on_return
+        self.taken_over = False
+        self.consecutive_failures = 0
+        self.probes_sent = 0
+        host.register_service(self)
+        self._socket = host.open_udp(FAKE_PROBE_PORT, self._on_reply)
+        self._probe_timer = self.periodic(self._probe, self.probe_interval, name="probe")
+        self._reply_timer = self.timer(self._on_probe_timeout, name="reply")
+        self._seq = 0
+        self._awaiting = None
+
+    @staticmethod
+    def serve_probes(host, port=FAKE_PROBE_PORT):
+        """Install the probe responder on the *main* server."""
+
+        def respond(payload, src, dst):
+            if not (isinstance(payload, tuple) and len(payload) == 2):
+                return
+            kind, seq = payload
+            if kind == "probe":
+                host.send_udp(("reply", seq), src[0], src[1], src_port=port)
+
+        return host.open_udp(port, respond)
+
+    def start(self):
+        """Begin the probe cycle."""
+        self._probe_timer.start(first_delay=0.0)
+
+    # ------------------------------------------------------------------
+
+    def _probe(self):
+        self._seq += 1
+        self._awaiting = self._seq
+        self.probes_sent += 1
+        self.host.send_udp(
+            ("probe", self._seq), self.probe_target, FAKE_PROBE_PORT,
+            src_port=FAKE_PROBE_PORT,
+        )
+        self._reply_timer.start(self.probe_timeout)
+
+    def _on_reply(self, payload, src, dst):
+        if not self.alive or not isinstance(payload, tuple):
+            return
+        kind, seq = payload
+        if kind != "reply" or seq != self._awaiting:
+            return
+        self._awaiting = None
+        self._reply_timer.cancel()
+        self.consecutive_failures = 0
+        if self.taken_over and self.yield_on_return:
+            self._yield_vip()
+
+    def _on_probe_timeout(self):
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold and not self.taken_over:
+            self._take_over()
+
+    def _take_over(self):
+        self.taken_over = True
+        nic = self.host.nic_on(self.lan)
+        nic.bind_ip(self.vip)
+        self.host.arp.announce(nic, self.vip)
+        self.trace("fake", "takeover", vip=str(self.vip))
+
+    def _yield_vip(self):
+        self.taken_over = False
+        nic = self.host.nic_on(self.lan)
+        if nic.owns_ip(self.vip) and self.vip != nic.primary_ip:
+            nic.unbind_ip(self.vip)
+        self.trace("fake", "yield", vip=str(self.vip))
+
+    def __repr__(self):
+        return "FakeFailover({}, taken_over={})".format(self.host.name, self.taken_over)

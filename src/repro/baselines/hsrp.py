@@ -1,0 +1,134 @@
+"""Hot Standby Router Protocol (Cisco) — baseline.
+
+§7: "HSRP elects one router to be the active router and another to be
+the standby router. The active and the standby routers send hello
+messages … After an Active timeout elapses without hearing hello
+messages from the active router, the standby router takes over.
+By default, hello messages are sent every 3 seconds and the Active and
+Standby timeouts are set to 10 seconds."
+"""
+
+from repro.net.addresses import IPAddress
+from repro.sim.process import Process
+
+LEARN = "LEARN"
+LISTEN = "LISTEN"
+STANDBY = "STANDBY"
+ACTIVE = "ACTIVE"
+
+HSRP_PORT = 1985
+
+
+class HsrpHello:
+    """Hello message carrying the sender's role and priority."""
+
+    __slots__ = ("sender", "role", "priority")
+
+    def __init__(self, sender, role, priority):
+        self.sender = sender
+        self.role = role
+        self.priority = priority
+
+    def __repr__(self):
+        return "HsrpHello({}, {}, prio={})".format(self.sender, self.role, self.priority)
+
+
+class HsrpRouter(Process):
+    """One HSRP group member managing a single virtual address."""
+
+    def __init__(
+        self, host, lan, vip, priority, hello_interval=3.0, hold_time=10.0
+    ):
+        super().__init__(host.sim, "hsrp@{}".format(host.name))
+        self.host = host
+        self.lan = lan
+        self.vip = IPAddress(vip)
+        self.priority = priority
+        self.hello_interval = float(hello_interval)
+        self.hold_time = float(hold_time)
+        self.state = LEARN
+        host.register_service(self)
+        self._socket = host.open_udp(HSRP_PORT, self._on_packet)
+        self._hello_timer = self.periodic(self._send_hello, self.hello_interval, name="hello")
+        self._active_timer = self.timer(self._on_active_timeout, name="active")
+        self._standby_timer = self.timer(self._on_standby_timeout, name="standby")
+        self.transitions = []
+
+    def start(self):
+        """Begin listening; election happens via hello exchange."""
+        self._set_state(LISTEN)
+        self._hello_timer.start(first_delay=0.0)
+        self._active_timer.start(self.hold_time)
+        self._standby_timer.start(self.hold_time)
+
+    # ------------------------------------------------------------------
+
+    def _send_hello(self):
+        if self.state in (ACTIVE, STANDBY):
+            self._broadcast(HsrpHello(self.host.name, self.state, self.priority))
+        elif self.state == LISTEN:
+            # Speak period: contend for standby/active when none heard.
+            self._broadcast(HsrpHello(self.host.name, LISTEN, self.priority))
+
+    def _broadcast(self, hello):
+        self.host.send_udp(
+            hello, self.lan.subnet.broadcast_address, HSRP_PORT, src_port=HSRP_PORT
+        )
+
+    def _on_packet(self, hello, src, dst):
+        if not self.alive or not isinstance(hello, HsrpHello):
+            return
+        if hello.sender == self.host.name:
+            return
+        mine = (self.priority, self.host.name)
+        theirs = (hello.priority, hello.sender)
+        if hello.role == ACTIVE:
+            if self.state == ACTIVE and theirs > mine:
+                self._resign_active()
+            if self.state != ACTIVE:
+                self._active_timer.start(self.hold_time)
+        elif hello.role == STANDBY:
+            if self.state == STANDBY and theirs > mine:
+                self._set_state(LISTEN)
+            if self.state != STANDBY:
+                self._standby_timer.start(self.hold_time)
+        elif hello.role == LISTEN and self.state == LISTEN and theirs > mine:
+            # A better-placed speaker exists; restart our patience.
+            self._active_timer.start(self.hold_time)
+            self._standby_timer.start(self.hold_time)
+
+    def _on_active_timeout(self):
+        # Only the standby router may take over the active role; a
+        # listener re-arms and waits to be promoted to standby first.
+        if self.state == STANDBY:
+            self._become_active()
+        elif self.state == LISTEN:
+            self._active_timer.start(self.hold_time)
+
+    def _on_standby_timeout(self):
+        if self.state == LISTEN:
+            self._set_state(STANDBY)
+            self._send_hello()
+
+    def _become_active(self):
+        self._set_state(ACTIVE)
+        nic = self.host.nic_on(self.lan)
+        nic.bind_ip(self.vip)
+        self.host.arp.announce(nic, self.vip)
+        self._send_hello()
+
+    def _resign_active(self):
+        nic = self.host.nic_on(self.lan)
+        if nic.owns_ip(self.vip) and self.vip != nic.primary_ip:
+            nic.unbind_ip(self.vip)
+        self._set_state(LISTEN)
+        self._active_timer.start(self.hold_time)
+        self._standby_timer.start(self.hold_time)
+
+    def _set_state(self, state):
+        self.transitions.append((self.now, state))
+        self.state = state
+        self.trace("hsrp", "state", state=state)
+
+    def __repr__(self):
+        return "HsrpRouter({}, {}, prio={})".format(self.host.name, self.state, self.priority)

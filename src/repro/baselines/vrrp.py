@@ -1,0 +1,143 @@
+"""Virtual Router Redundancy Protocol (RFC 2338) — baseline.
+
+An election protocol that "dynamically assigns responsibility for a
+virtual router to one of the VRRP routers on a LAN" (§7). The master
+broadcasts advertisements every second (default); backups take over
+after the master-down interval ``3 x advertisement_interval +
+skew_time`` where ``skew = (256 - priority) / 256`` — so with defaults
+a failure is repaired after roughly 3–4 seconds.
+"""
+
+from repro.net.addresses import IPAddress
+from repro.sim.process import Process
+
+INIT = "INIT"
+BACKUP = "BACKUP"
+MASTER = "MASTER"
+
+VRRP_PORT = 112
+
+
+class VrrpAdvertisement:
+    """One VRRP advertisement (priority 0 announces a resignation)."""
+
+    __slots__ = ("sender", "priority", "vip")
+
+    def __init__(self, sender, priority, vip):
+        self.sender = sender
+        self.priority = priority
+        self.vip = vip
+
+    def __repr__(self):
+        return "VrrpAdvertisement({}, prio={})".format(self.sender, self.priority)
+
+
+class VrrpRouter(Process):
+    """One VRRP instance managing a single virtual address."""
+
+    def __init__(self, host, lan, vip, priority, advert_interval=1.0, preempt=True):
+        super().__init__(host.sim, "vrrp@{}".format(host.name))
+        if not 1 <= priority <= 254:
+            raise ValueError("priority must be in 1..254, got {}".format(priority))
+        self.host = host
+        self.lan = lan
+        self.vip = IPAddress(vip)
+        self.priority = priority
+        self.advert_interval = float(advert_interval)
+        self.preempt = preempt
+        self.state = INIT
+        host.register_service(self)
+        self._socket = host.open_udp(VRRP_PORT, self._on_packet)
+        self._advert_timer = self.periodic(
+            self._send_advertisement, self.advert_interval, name="advert"
+        )
+        self._master_down_timer = self.timer(self._on_master_down, name="master_down")
+        self.transitions = []
+
+    @property
+    def skew_time(self):
+        """Priority-derived head start for higher-priority backups."""
+        return (256 - self.priority) / 256.0
+
+    @property
+    def master_down_interval(self):
+        """Time without advertisements before a backup takes over."""
+        return 3.0 * self.advert_interval + self.skew_time
+
+    def start(self):
+        """Join the election; the highest priority becomes master."""
+        # RFC 2338: the address owner starts as master; equal-priority
+        # contenders resolve via advertisements and preemption.
+        self._become_backup()
+
+    def shutdown(self):
+        """Graceful stop: a priority-0 advertisement hands off quickly."""
+        if self.state == MASTER:
+            self._broadcast(VrrpAdvertisement(self.host.name, 0, self.vip))
+            self._release_vip()
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _become_backup(self):
+        self._set_state(BACKUP)
+        self._advert_timer.stop()
+        self._release_vip()
+        self._master_down_timer.start(self.master_down_interval)
+
+    def _become_master(self):
+        self._set_state(MASTER)
+        self._master_down_timer.cancel()
+        nic = self.host.nic_on(self.lan)
+        nic.bind_ip(self.vip)
+        self.host.arp.announce(nic, self.vip)
+        self._send_advertisement()
+        self._advert_timer.start()
+
+    def _release_vip(self):
+        nic = self.host.nic_on(self.lan)
+        if nic.owns_ip(self.vip) and self.vip != nic.primary_ip:
+            nic.unbind_ip(self.vip)
+
+    def _on_master_down(self):
+        if self.state == BACKUP:
+            self._become_master()
+
+    def _send_advertisement(self):
+        if self.state == MASTER:
+            self._broadcast(VrrpAdvertisement(self.host.name, self.priority, self.vip))
+
+    def _broadcast(self, advert):
+        self.host.send_udp(
+            advert, self.lan.subnet.broadcast_address, VRRP_PORT, src_port=VRRP_PORT
+        )
+
+    def _on_packet(self, advert, src, dst):
+        if not self.alive or not isinstance(advert, VrrpAdvertisement):
+            return
+        if advert.vip != self.vip or advert.sender == self.host.name:
+            return
+        if advert.priority == 0:
+            # Master resigned; race in after only the skew time.
+            if self.state == BACKUP:
+                self._master_down_timer.start(self.skew_time)
+            return
+        if self.state == MASTER:
+            if advert.priority > self.priority:
+                self._become_backup()
+            # Lower priority advertisements are ignored; the other
+            # master will step down when it hears ours.
+            return
+        if self.state == BACKUP:
+            if advert.priority >= self.priority or not self.preempt:
+                self._master_down_timer.start(self.master_down_interval)
+            # A lower-priority master with preemption enabled: let the
+            # timer run out and take over.
+
+    def _set_state(self, state):
+        self.transitions.append((self.now, state))
+        self.state = state
+        self.trace("vrrp", "state", state=state)
+
+    def __repr__(self):
+        return "VrrpRouter({}, {}, prio={})".format(self.host.name, self.state, self.priority)

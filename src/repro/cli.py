@@ -1,0 +1,151 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+    python -m repro table1
+    python -m repro figure5 --sizes 2 6 12 --trials 3 --chart
+    python -m repro graceful --trials 10
+    python -m repro router --rip-interval 30
+    python -m repro baselines
+    python -m repro tuning
+    python -m repro all
+
+Each subcommand prints the paper-style table(s) produced by the
+corresponding experiment class in :mod:`repro.experiments`.
+"""
+
+import argparse
+import sys
+
+from repro.experiments.availability import AvailabilityExperiment
+from repro.experiments.baselines_experiment import BaselineComparison
+from repro.experiments.figure5 import Figure5Experiment
+from repro.experiments.graceful import GracefulLeaveExperiment
+from repro.experiments.load import LoadedClusterExperiment
+from repro.experiments.router_experiment import RouterFailoverExperiment
+from repro.experiments.table1 import Table1Experiment
+from repro.experiments.tuning import FalsePositiveExperiment, SensitivityExperiment
+
+
+def build_parser():
+    """The argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'N-Way Fail-Over Infrastructure "
+        "for Reliable Servers and Routers' (DSN 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="Table 1 and the notification windows")
+    table1.add_argument("--trials", type=int, default=5)
+    table1.add_argument("--servers", type=int, default=4)
+
+    figure5 = sub.add_parser("figure5", help="Figure 5 cluster-size sweep")
+    figure5.add_argument("--sizes", type=int, nargs="+", default=[2, 4, 6, 8, 10, 12])
+    figure5.add_argument("--trials", type=int, default=3)
+    figure5.add_argument("--vips", type=int, default=10)
+    figure5.add_argument("--chart", action="store_true", help="also print an ASCII chart")
+
+    graceful = sub.add_parser("graceful", help="voluntary-leave interruption")
+    graceful.add_argument("--trials", type=int, default=10)
+    graceful.add_argument("--servers", type=int, default=4)
+
+    router = sub.add_parser("router", help="virtual-router fail-over (section 5.2)")
+    router.add_argument("--trials", type=int, default=2)
+    router.add_argument("--rip-interval", type=float, default=30.0)
+
+    sub.add_parser("baselines", help="VRRP / HSRP / Fake comparison (section 7)")
+
+    tuning = sub.add_parser("tuning", help="false positives + sensitivity sweeps")
+    tuning.add_argument("--duration", type=float, default=120.0)
+    tuning.add_argument("--trials", type=int, default=2)
+
+    load = sub.add_parser("load", help="daemon priority on loaded machines")
+    load.add_argument("--duration", type=float, default=120.0)
+    load.add_argument("--trials", type=int, default=2)
+
+    availability = sub.add_parser(
+        "availability", help="pool-wide availability under faults"
+    )
+    availability.add_argument("--window", type=float, default=120.0)
+    availability.add_argument("--faults", type=int, default=1)
+    availability.add_argument("--trials", type=int, default=2)
+
+    sub.add_parser("all", help="run every experiment in sequence")
+    return parser
+
+
+def _run_table1(args, out):
+    experiment = Table1Experiment(trials=args.trials, cluster_size=args.servers)
+    out(experiment.format())
+
+
+def _run_figure5(args, out):
+    experiment = Figure5Experiment(
+        cluster_sizes=tuple(args.sizes), trials=args.trials, n_vips=args.vips
+    )
+    series = experiment.run()
+    out(experiment.format(series))
+    if args.chart:
+        out("")
+        out(experiment.format_chart(series))
+
+
+def _run_graceful(args, out):
+    experiment = GracefulLeaveExperiment(trials=args.trials, cluster_size=args.servers)
+    out(experiment.format())
+
+
+def _run_router(args, out):
+    experiment = RouterFailoverExperiment(
+        trials=args.trials, rip_interval=args.rip_interval
+    )
+    out(experiment.format())
+
+
+def _run_baselines(args, out):
+    out(BaselineComparison(trials=3).format())
+
+
+def _run_tuning(args, out):
+    out(FalsePositiveExperiment(duration=args.duration, trials=args.trials).format())
+    out("")
+    out(SensitivityExperiment(trials=args.trials).format())
+
+
+def _run_load(args, out):
+    out(LoadedClusterExperiment(duration=args.duration, trials=args.trials).format())
+
+
+def _run_availability(args, out):
+    experiment = AvailabilityExperiment(window=args.window, faults=args.faults)
+    out(experiment.format(trials=args.trials))
+
+
+def main(argv=None, out=print):
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table1": _run_table1,
+        "figure5": _run_figure5,
+        "graceful": _run_graceful,
+        "router": _run_router,
+        "baselines": _run_baselines,
+        "tuning": _run_tuning,
+        "load": _run_load,
+        "availability": _run_availability,
+    }
+    if args.command == "all":
+        defaults = build_parser()
+        for command in (
+            "table1", "figure5", "graceful", "router", "baselines", "tuning",
+            "load", "availability",
+        ):
+            out("=" * 72)
+            handlers[command](defaults.parse_args([command]), out)
+            out("")
+        return 0
+    handlers[args.command](args, out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Coverage auditor: checks the paper's correctness properties.
+
+Property 1 (§3.1): every VIP is covered *exactly once* by a server in
+each maximal connected component whose servers are in the RUN state.
+The auditor computes the real connected components from the simulated
+network (host liveness, NIC state, LAN partition groups) and inspects
+actual NIC bindings — ground truth, not protocol state — so a protocol
+bug cannot hide from it.
+"""
+
+
+class CoverageViolation:
+    """One detected violation of Property 1."""
+
+    __slots__ = ("component", "slot", "covering", "kind")
+
+    def __init__(self, component, slot, covering, kind):
+        self.component = tuple(component)
+        self.slot = slot
+        self.covering = tuple(covering)
+        self.kind = kind
+
+    def __repr__(self):
+        return "CoverageViolation({} slot={} covered_by={})".format(
+            self.kind, self.slot, list(self.covering)
+        )
+
+
+class CoverageAuditor:
+    """Audits a set of Wackamole daemons against Property 1."""
+
+    def __init__(self, daemons):
+        self.daemons = list(daemons)
+
+    def components(self):
+        """Maximal sets of live daemons able to communicate right now."""
+        live = [d for d in self.daemons if self._communicating(d)]
+        remaining = set(live)
+        components = []
+        while remaining:
+            seed = remaining.pop()
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                current = frontier.pop()
+                for other in list(remaining):
+                    if self._connected(current, other):
+                        remaining.discard(other)
+                        component.add(other)
+                        frontier.append(other)
+            components.append(sorted(component, key=lambda d: d.host.name))
+        return components
+
+    def check(self):
+        """Return all Property 1 violations across stable components.
+
+        A component is audited when every member is in the RUN state
+        and at least one member is mature (the property presumes
+        normal operation; an immature booting cluster covers nothing
+        by design, §3.4).
+        """
+        from repro.core.state import RUN
+
+        violations = []
+        for component in self.components():
+            if not all(d.machine.state == RUN for d in component):
+                continue
+            if not any(d.mature for d in component):
+                continue
+            for slot in self._slots(component):
+                covering = [
+                    d.host.name for d in component if self._covers(d, slot)
+                ]
+                if len(covering) == 0:
+                    violations.append(
+                        CoverageViolation(
+                            [d.host.name for d in component], slot, covering, "uncovered"
+                        )
+                    )
+                elif len(covering) > 1:
+                    violations.append(
+                        CoverageViolation(
+                            [d.host.name for d in component], slot, covering, "duplicate"
+                        )
+                    )
+        return violations
+
+    def assert_ok(self):
+        """Raise AssertionError with details on any violation."""
+        violations = self.check()
+        if violations:
+            raise AssertionError("coverage violations: {}".format(violations))
+
+    def check_by_view(self):
+        """Property 1 relative to *agreed membership* (always holds).
+
+        :meth:`check` audits physical connectivity, which lags behind
+        the protocol during failure-detection windows — the paper's
+        availability interruption is exactly that lag. This variant
+        groups daemons by the group view they have installed; whenever
+        *all* members of a view are alive, RUN and mature, coverage
+        among them must be exact at every instant.
+        """
+        from repro.core.state import RUN
+
+        by_view = {}
+        for daemon in self.daemons:
+            if not daemon.alive or daemon.view is None:
+                continue
+            if daemon.machine.state != RUN or not daemon.mature:
+                continue
+            key = (daemon.view.view_id, daemon.view.members)
+            by_view.setdefault(key, []).append(daemon)
+        violations = []
+        for (view_id, members), daemons in by_view.items():
+            if len(daemons) != len(members):
+                continue
+            for slot in self._slots(daemons):
+                covering = [
+                    d.host.name for d in daemons if self._covers_logically(d, slot)
+                ]
+                if len(covering) != 1:
+                    kind = "uncovered" if not covering else "duplicate"
+                    violations.append(
+                        CoverageViolation(
+                            [d.host.name for d in daemons], slot, covering, kind
+                        )
+                    )
+        return violations
+
+    def duplicate_coverage(self):
+        """Slots currently bound by more than one live daemon, globally.
+
+        Unlike :meth:`check` this ignores component boundaries; it is
+        used to measure how long double coverage persists inside one
+        component during reconfiguration (the §3.4 eager-drop metric).
+        """
+        duplicates = {}
+        for component in self.components():
+            for slot in self._slots(component):
+                covering = [d.host.name for d in component if self._covers(d, slot)]
+                if len(covering) > 1:
+                    duplicates[slot] = covering
+        return duplicates
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _communicating(daemon):
+        host = daemon.host
+        if not host.alive or not daemon.alive:
+            return False
+        nic = host.nic_on(daemon.spread.lan)
+        return nic is not None and nic.up
+
+    @staticmethod
+    def _connected(daemon_a, daemon_b):
+        lan = daemon_a.spread.lan
+        if daemon_b.spread.lan is not lan:
+            return False
+        nic_a = daemon_a.host.nic_on(lan)
+        nic_b = daemon_b.host.nic_on(lan)
+        return lan.connected(nic_a, nic_b)
+
+    @staticmethod
+    def _slots(component):
+        slots = []
+        for daemon in component:
+            for slot in daemon.config.slot_ids():
+                if slot not in slots:
+                    slots.append(slot)
+        return slots
+
+    @staticmethod
+    def _covers(daemon, slot):
+        try:
+            group = daemon.config.group(slot)
+        except KeyError:
+            return False
+        return all(daemon.host.owns_ip(address) for address in group.addresses)
+
+    @staticmethod
+    def _covers_logically(daemon, slot):
+        """Binding-level coverage, ignoring interface up/down state.
+
+        Used by the view-relative check: a daemon that bound an address
+        on a (currently dark) interface still *holds* it as far as the
+        protocol's obligations are concerned.
+        """
+        try:
+            group = daemon.config.group(slot)
+        except KeyError:
+            return False
+        for address in group.addresses:
+            if not any(nic.owns_ip(address) for nic in daemon.host.nics):
+                return False
+        return True

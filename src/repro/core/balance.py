@@ -1,0 +1,153 @@
+"""Balance_IPs(): the representative's load re-balancing (§3.4).
+
+Triggered by a timeout in the RUN state and executed only by the
+representative (first member of the uniquely ordered list). It
+computes a new allocation from load-balancing considerations and the
+explicit preferences passed along through state messages, and
+broadcasts it in a BALANCE message. The procedure deliberately moves
+as few addresses as possible: gratuitous moves would each cost an ARP
+update cycle.
+"""
+
+
+def compute_balanced_allocation(members, slots, current, preferences=None, weights=None):
+    """Return a balanced {slot: member} allocation.
+
+    Starts from ``current`` (slot -> member or None), honours
+    preferences first, then levels load by moving slots from the most
+    to the least loaded member until the spread is at most one. All
+    choices iterate sorted structures, keeping the result a pure
+    function of its inputs.
+
+    With ``weights`` (member -> relative capacity, §3.4's load-based
+    reallocation) the levelling targets per-member *quotas*
+    proportional to the weights instead of an even split; see
+    :func:`weighted_quotas`.
+    """
+    members = list(members)
+    if not members:
+        return dict(current)
+    if weights and len({weights.get(m, 1.0) for m in members}) > 1:
+        return _weighted_balance(members, slots, current, preferences or {}, weights)
+    preferences = preferences or {}
+    allocation = {}
+    for slot in slots:
+        owner = current.get(slot)
+        allocation[slot] = owner if owner in members else None
+
+    # Preference pass: a slot moves to the first member (in membership
+    # order) that explicitly prefers it.
+    for slot in slots:
+        for member in members:
+            if slot in preferences.get(member, ()):
+                allocation[slot] = member
+                break
+
+    # Fill anything still uncovered, least-loaded first.
+    counts = {member: 0 for member in members}
+    for owner in allocation.values():
+        if owner is not None:
+            counts[owner] += 1
+    for slot in slots:
+        if allocation[slot] is None:
+            chosen = min(members, key=lambda m: (counts[m], members.index(m)))
+            allocation[slot] = chosen
+            counts[chosen] += 1
+
+    # Levelling pass: move non-preferred slots from the most loaded to
+    # the least loaded member until the imbalance is at most one.
+    def preferred_by_owner(slot):
+        return slot in preferences.get(allocation[slot], ())
+
+    while True:
+        heavy = max(members, key=lambda m: (counts[m], -members.index(m)))
+        light = min(members, key=lambda m: (counts[m], members.index(m)))
+        if counts[heavy] - counts[light] <= 1:
+            break
+        movable = [
+            slot
+            for slot in slots
+            if allocation[slot] == heavy and not preferred_by_owner(slot)
+        ]
+        if not movable:
+            break
+        slot = movable[0]
+        allocation[slot] = light
+        counts[heavy] -= 1
+        counts[light] += 1
+    return allocation
+
+
+def weighted_quotas(members, total, weights):
+    """Integer slot quotas proportional to weights (largest remainder).
+
+    Deterministic: remainders tie-break by membership order. The
+    quotas sum to ``total`` exactly.
+    """
+    total_weight = sum(weights.get(member, 1.0) for member in members)
+    ideal = {
+        member: total * weights.get(member, 1.0) / total_weight for member in members
+    }
+    quotas = {member: int(ideal[member]) for member in members}
+    leftover = total - sum(quotas.values())
+    by_remainder = sorted(
+        members,
+        key=lambda member: (-(ideal[member] - quotas[member]), members.index(member)),
+    )
+    for member in by_remainder[:leftover]:
+        quotas[member] += 1
+    return quotas
+
+
+def _weighted_balance(members, slots, current, preferences, weights):
+    """Quota-targeted balancing with minimal movement."""
+    quotas = weighted_quotas(members, len(slots), weights)
+    allocation = {}
+    for slot in slots:
+        owner = current.get(slot)
+        allocation[slot] = owner if owner in members else None
+
+    # Preferences pin slots first (they count against the quota).
+    for slot in slots:
+        for member in members:
+            if slot in preferences.get(member, ()):
+                allocation[slot] = member
+                break
+
+    counts = {member: 0 for member in members}
+    for owner in allocation.values():
+        if owner is not None:
+            counts[owner] += 1
+
+    def under_quota():
+        eligible = [m for m in members if counts[m] < quotas[m]]
+        return min(eligible, key=members.index) if eligible else None
+
+    # Fill holes into under-quota members first.
+    for slot in slots:
+        if allocation[slot] is None:
+            target = under_quota() or min(
+                members, key=lambda m: (counts[m] / weights.get(m, 1.0), members.index(m))
+            )
+            allocation[slot] = target
+            counts[target] += 1
+
+    # Move non-preferred surplus from over-quota to under-quota members.
+    for member in members:
+        while counts[member] > quotas[member]:
+            target = under_quota()
+            if target is None:
+                break
+            movable = [
+                slot
+                for slot in slots
+                if allocation[slot] == member
+                and slot not in preferences.get(member, ())
+            ]
+            if not movable:
+                break
+            slot = movable[0]
+            allocation[slot] = target
+            counts[member] -= 1
+            counts[target] += 1
+    return allocation

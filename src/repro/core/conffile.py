@@ -1,0 +1,223 @@
+"""Parser for wackamole.conf-style configuration files.
+
+The real Wackamole is configured by a small declarative file; this
+module accepts the same vocabulary (slightly simplified) and produces
+a :class:`~repro.core.config.WackamoleConfig` plus the daemon-level
+settings::
+
+    # wackamole.conf
+    Spread = 4803
+    Group = wack1
+    Mature = 5s
+    Balance {
+        Interval = 4s
+    }
+    Prefer 192.168.0.100
+    VirtualInterfaces {
+        { eth0:192.168.0.100/32 }
+        { eth0:192.168.0.101/32 }
+        { eth0:10.0.0.1/32 eth1:192.168.0.1/32 }   # indivisible set
+    }
+    Notify {
+        eth0:192.168.0.1/32
+        arp-cache
+    }
+
+Interface prefixes (``eth0:``) and mask suffixes (``/32``) are accepted
+for compatibility and ignored: the simulation binds addresses by
+subnet. ``arp-cache`` inside ``Notify`` enables the §5.2 periodic
+ARP-cache exchange.
+"""
+
+from repro.core.config import VipGroup, WackamoleConfig
+
+
+class ConfigError(Exception):
+    """The configuration text is malformed."""
+
+
+class ParsedConfig:
+    """Result of parsing: the Wackamole config plus daemon settings."""
+
+    def __init__(self, wackamole, spread_port, group_name):
+        self.wackamole = wackamole
+        self.spread_port = spread_port
+        self.group_name = group_name
+
+    def __repr__(self):
+        return "ParsedConfig(group={}, port={}, {} vip groups)".format(
+            self.group_name, self.spread_port, len(self.wackamole.vip_groups)
+        )
+
+
+def parse_wackamole_conf(text):
+    """Parse configuration text; returns a :class:`ParsedConfig`."""
+    tokens = _tokenize(text)
+    state = {
+        "spread_port": 4803,
+        "group": "wackamole",
+        "mature": 5.0,
+        "balance_enabled": False,
+        "balance_interval": 10.0,
+        "prefer": [],
+        "vip_groups": [],
+        "notify_ips": [],
+        "arp_share": False,
+    }
+    index = 0
+    while index < len(tokens):
+        token = tokens[index].lower()
+        if token == "spread":
+            state["spread_port"], index = _read_assignment(tokens, index, int)
+        elif token == "group":
+            state["group"], index = _read_assignment(tokens, index, str)
+        elif token == "control":
+            _, index = _read_assignment(tokens, index, str)  # accepted, unused
+        elif token == "mature":
+            state["mature"], index = _read_assignment(tokens, index, _seconds)
+        elif token == "arp-cache":
+            _, index = _read_assignment(tokens, index, _seconds)  # accepted
+        elif token == "prefer":
+            index += 1
+            if index >= len(tokens):
+                raise ConfigError("Prefer needs an address or None")
+            if tokens[index].lower() != "none":
+                state["prefer"].append(_address(tokens[index]))
+            index += 1
+        elif token == "balance":
+            index = _parse_balance(tokens, index, state)
+        elif token == "virtualinterfaces":
+            index = _parse_virtual_interfaces(tokens, index, state)
+        elif token == "notify":
+            index = _parse_notify(tokens, index, state)
+        else:
+            raise ConfigError("unexpected token {!r}".format(tokens[index]))
+
+    if not state["vip_groups"]:
+        raise ConfigError("no VirtualInterfaces section")
+    # Prefer lines name addresses; resolve each to its containing group.
+    prefer_ids = []
+    for preferred in state["prefer"]:
+        group = _group_containing(state["vip_groups"], preferred)
+        if group is None:
+            raise ConfigError("Prefer lists unknown address: {}".format(preferred))
+        if group.group_id not in prefer_ids:
+            prefer_ids.append(group.group_id)
+    state["prefer"] = prefer_ids
+    wackamole = WackamoleConfig(
+        state["vip_groups"],
+        group_name=state["group"],
+        balance_enabled=state["balance_enabled"],
+        balance_timeout=state["balance_interval"],
+        maturity_timeout=state["mature"],
+        prefer=tuple(state["prefer"]),
+        notify_ips=tuple(state["notify_ips"]),
+        arp_share_interval=5.0 if state["arp_share"] else 0.0,
+    )
+    return ParsedConfig(wackamole, state["spread_port"], state["group"])
+
+
+# ----------------------------------------------------------------------
+# section parsers
+
+
+def _parse_balance(tokens, index, state):
+    index = _expect(tokens, index + 1, "{")
+    state["balance_enabled"] = True
+    while index < len(tokens) and tokens[index] != "}":
+        key = tokens[index].lower()
+        if key == "interval":
+            state["balance_interval"], index = _read_assignment(tokens, index, _seconds)
+        elif key == "acquisitionsperround":
+            _, index = _read_assignment(tokens, index, str)  # accepted, unused
+        else:
+            raise ConfigError("unexpected token {!r} in Balance".format(tokens[index]))
+    return _expect(tokens, index, "}")
+
+
+def _parse_virtual_interfaces(tokens, index, state):
+    index = _expect(tokens, index + 1, "{")
+    while index < len(tokens) and tokens[index] != "}":
+        if tokens[index] != "{":
+            raise ConfigError(
+                "expected '{{' starting a VIP group, got {!r}".format(tokens[index])
+            )
+        index += 1
+        addresses = []
+        while index < len(tokens) and tokens[index] != "}":
+            addresses.append(_address(tokens[index]))
+            index += 1
+        index = _expect(tokens, index, "}")
+        if not addresses:
+            raise ConfigError("empty VIP group")
+        group_id = addresses[0] if len(addresses) == 1 else "+".join(addresses)
+        state["vip_groups"].append(VipGroup(group_id, addresses))
+    return _expect(tokens, index, "}")
+
+
+def _parse_notify(tokens, index, state):
+    index = _expect(tokens, index + 1, "{")
+    while index < len(tokens) and tokens[index] != "}":
+        if tokens[index].lower() == "arp-cache":
+            state["arp_share"] = True
+        else:
+            state["notify_ips"].append(_address(tokens[index]))
+        index += 1
+    return _expect(tokens, index, "}")
+
+
+# ----------------------------------------------------------------------
+# lexing and primitives
+
+
+def _group_containing(groups, address):
+    from repro.net.addresses import IPAddress
+
+    target = IPAddress(address)
+    for group in groups:
+        if target in group.addresses:
+            return group
+    return None
+
+
+def _tokenize(text):
+    tokens = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0]
+        line = line.replace("{", " { ").replace("}", " } ").replace("=", " = ")
+        tokens.extend(line.split())
+    return tokens
+
+
+def _read_assignment(tokens, index, convert):
+    if index + 2 >= len(tokens) or tokens[index + 1] != "=":
+        raise ConfigError("expected '{} = <value>'".format(tokens[index]))
+    try:
+        value = convert(tokens[index + 2])
+    except ValueError as exc:
+        raise ConfigError(
+            "bad value for {}: {}".format(tokens[index], exc)
+        ) from exc
+    return value, index + 3
+
+
+def _expect(tokens, index, literal):
+    if index >= len(tokens) or tokens[index] != literal:
+        found = tokens[index] if index < len(tokens) else "<end>"
+        raise ConfigError("expected {!r}, got {!r}".format(literal, found))
+    return index + 1
+
+
+def _seconds(token):
+    return float(token[:-1]) if token.endswith("s") else float(token)
+
+
+def _address(token):
+    """'eth0:192.168.0.1/32' -> '192.168.0.1' (validated)."""
+    from repro.net.addresses import IPAddress
+
+    text = token.rsplit(":", 1)[-1].split("/", 1)[0]
+    try:
+        return str(IPAddress(text))
+    except ValueError as exc:
+        raise ConfigError("bad address {!r}: {}".format(token, exc)) from exc

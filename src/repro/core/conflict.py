@@ -1,0 +1,28 @@
+"""ResolveConflicts(): the deterministic conflict-drop rule.
+
+After a merge of previously partitioned components every component
+covers the full VIP set, so overlaps are expected. The paper's rule
+(proof of Lemma 1): when two members claim the same address, the one
+appearing *earlier* in the uniquely ordered membership list releases
+it; the later claimant keeps covering. Because the rule depends only
+on the membership order, every member resolves every conflict
+identically, regardless of message arrival order.
+"""
+
+
+def resolve_claim(table, slot, claimant):
+    """Record that ``claimant`` covers ``slot``; resolve any conflict.
+
+    Returns ``(winner, loser)`` where ``loser`` is None when there was
+    no conflict. The table is updated to reflect the winner.
+    """
+    current = table.owner(slot)
+    if current is None or current == claimant:
+        table.set_owner(slot, claimant)
+        return claimant, None
+    if table.position(claimant) > table.position(current):
+        winner, loser = claimant, current
+    else:
+        winner, loser = current, claimant
+    table.set_owner(slot, winner)
+    return winner, loser

@@ -1,0 +1,141 @@
+"""Administrative control channel (§4.2).
+
+The real Wackamole added "an input channel to allow administrative
+control of a cluster's behavior". This is that channel's command
+surface: inspect status, adjust preferences, hand off an address, and
+take a daemon offline gracefully or abruptly.
+"""
+
+
+class AdminControl:
+    """Operator commands against one Wackamole daemon."""
+
+    def __init__(self, daemon):
+        self.daemon = daemon
+
+    def status(self):
+        """Current state, view, maturity and owned addresses."""
+        return self.daemon.status()
+
+    def list_vips(self):
+        """{slot id: list of addresses} for every configured VIP group."""
+        return {
+            group.group_id: [str(a) for a in group.addresses]
+            for group in self.daemon.config.vip_groups
+        }
+
+    def set_preferences(self, slot_ids):
+        """Replace this server's preference list (takes effect at the
+        next view change, when preferences travel in STATE messages)."""
+        self.daemon.config = self.daemon.config.copy_for(prefer=tuple(slot_ids))
+        self.daemon.iface.config = self.daemon.config
+        self.daemon.notifier.config = self.daemon.config
+
+    def release_vip(self, slot_id):
+        """Drop one VIP group locally; it stays uncovered until the next
+        reallocation or balance round picks it up."""
+        self.daemon.iface.release(slot_id)
+        if self.daemon.table is not None and slot_id in self.daemon.table.slots:
+            if self.daemon.table.owner(slot_id) == self.daemon.member_name:
+                self.daemon.table.release(slot_id)
+
+    def shutdown(self):
+        """Graceful exit: release everything, lightweight group leave."""
+        self.daemon.shutdown()
+
+    def kill(self):
+        """Abrupt stop (testing aid): bindings remain until others take over."""
+        self.daemon.stop()
+
+
+class AdminConsole:
+    """Line-oriented command surface over :class:`AdminControl`.
+
+    The real Wackamole exposes its input channel as a socket an
+    operator (or `wackatrl`) talks to; this is the equivalent command
+    parser. Commands::
+
+        status                  one-line daemon summary
+        table                   current VIP allocation
+        vips                    configured VIP groups
+        owned                   locally bound VIP groups
+        release <slot>          drop one VIP group locally
+        prefer <slot> [...]     replace the preference list
+        shutdown                graceful exit
+        help                    list commands
+    """
+
+    def __init__(self, daemon):
+        self.control = AdminControl(daemon)
+
+    def execute(self, line):
+        """Run one command line; returns the textual response."""
+        parts = line.strip().split()
+        if not parts:
+            return ""
+        command, arguments = parts[0].lower(), parts[1:]
+        handler = getattr(self, "_cmd_{}".format(command), None)
+        if handler is None:
+            return "error: unknown command {!r} (try 'help')".format(command)
+        try:
+            return handler(arguments)
+        except (KeyError, ValueError) as exc:
+            return "error: {}".format(exc)
+
+    # ------------------------------------------------------------------
+
+    def _cmd_help(self, arguments):
+        return (
+            "commands: status | table | vips | owned | release <slot> | "
+            "prefer <slot> [...] | shutdown | help"
+        )
+
+    def _cmd_status(self, arguments):
+        status = self.control.status()
+        return (
+            "host={host} state={state} mature={mature} connected={connected} "
+            "members={count} owned={owned}".format(
+                host=status["host"],
+                state=status["state"],
+                mature=status["mature"],
+                connected=status["connected"],
+                count=len(status["members"]),
+                owned=",".join(status["owned"]) or "-",
+            )
+        )
+
+    def _cmd_table(self, arguments):
+        table = self.control.status()["table"]
+        if not table:
+            return "(no allocation)"
+        return "\n".join(
+            "{} -> {}".format(slot, owner or "(uncovered)")
+            for slot, owner in table.items()
+        )
+
+    def _cmd_vips(self, arguments):
+        groups = self.control.list_vips()
+        return "\n".join(
+            "{}: {}".format(slot, " ".join(addresses))
+            for slot, addresses in groups.items()
+        )
+
+    def _cmd_owned(self, arguments):
+        owned = self.control.status()["owned"]
+        return ",".join(owned) if owned else "-"
+
+    def _cmd_release(self, arguments):
+        if len(arguments) != 1:
+            return "usage: release <slot>"
+        # Validate against the configuration before touching anything.
+        self.control.daemon.config.group(arguments[0])
+        self.control.release_vip(arguments[0])
+        return "released {}".format(arguments[0])
+
+    def _cmd_prefer(self, arguments):
+        self.control.set_preferences(arguments)
+        return "preferences: {}".format(" ".join(arguments) or "-")
+
+    def _cmd_shutdown(self, arguments):
+        self.control.shutdown()
+        return "shutting down"

@@ -1,0 +1,76 @@
+"""The IP address control mechanism (acquire and release).
+
+This is the platform-specific third of the paper's architecture
+(Figure 1), reduced to its observable essence: bind or release every
+address of a VIP group on the interface whose subnet contains it, and
+announce acquisitions via (spoofed) ARP so the LAN repoints traffic.
+"""
+
+
+class InterfaceError(Exception):
+    """A VIP address cannot be mapped onto any local interface."""
+
+
+class InterfaceManager:
+    """Enforces the synchronization algorithm's decisions on the NICs."""
+
+    def __init__(self, host, config, notifier):
+        self.host = host
+        self.config = config
+        self.notifier = notifier
+        self._owned = set()
+        self.acquisitions = 0
+        self.releases = 0
+
+    def owned_slots(self):
+        """Ids of VIP groups currently bound locally, in config order."""
+        return tuple(
+            group.group_id
+            for group in self.config.vip_groups
+            if group.group_id in self._owned
+        )
+
+    def owns(self, slot_id):
+        """True when the VIP group is currently bound here."""
+        return slot_id in self._owned
+
+    def acquire(self, slot_id):
+        """Bind every address of the group and announce via ARP."""
+        if slot_id in self._owned:
+            return
+        group = self.config.group(slot_id)
+        bindings = [(self._nic_for(address), address) for address in group.addresses]
+        for nic, address in bindings:
+            nic.bind_ip(address)
+        self._owned.add(slot_id)
+        self.acquisitions += 1
+        self.host.trace("wackamole", "acquire", slot=slot_id)
+        for nic, address in bindings:
+            self.notifier.announce(nic, address)
+
+    def release(self, slot_id):
+        """Unbind every address of the group."""
+        if slot_id not in self._owned:
+            return
+        group = self.config.group(slot_id)
+        for address in group.addresses:
+            nic = self._nic_for(address)
+            nic.unbind_ip(address)
+        self._owned.discard(slot_id)
+        self.releases += 1
+        self.host.trace("wackamole", "release", slot=slot_id)
+
+    def release_all(self):
+        """Drop every managed address (used on GCS disconnection, §4.2)."""
+        for slot_id in list(self._owned):
+            self.release(slot_id)
+
+    def _nic_for(self, address):
+        for nic in self.host.nics:
+            if address in nic.lan.subnet:
+                return nic
+        raise InterfaceError(
+            "{} has no interface on a subnet containing {}".format(
+                self.host.name, address
+            )
+        )

@@ -1,0 +1,102 @@
+"""Wackamole's group messages (sent over agreed-ordered multicast).
+
+Every message carries the group-view identifier of the view it was
+initiated in; receivers discard messages from other views (Algorithm 2,
+line 1 — "only STATE MSGs generated in the current view are
+considered").
+"""
+
+
+class StateMsg:
+    """A member's local knowledge, sent on every view change.
+
+    ``owned`` — ids of the VIP groups this member currently covers;
+    ``preferences`` — its startup preferences (§3.4, used by balance);
+    ``mature`` — the bootstrap flag (§3.4);
+    ``weight`` — relative capacity for load-based reallocation (§3.4).
+    """
+
+    __slots__ = ("sender", "view_id", "owned", "preferences", "mature", "weight")
+
+    def __init__(self, sender, view_id, owned, preferences, mature, weight=1.0):
+        self.sender = sender
+        self.view_id = view_id
+        self.owned = tuple(owned)
+        self.preferences = tuple(preferences)
+        self.mature = bool(mature)
+        self.weight = float(weight)
+
+    def __repr__(self):
+        return "StateMsg({} view={} owned={} mature={})".format(
+            self.sender, self.view_id, list(self.owned), self.mature
+        )
+
+
+class BalanceMsg:
+    """The representative's re-balanced allocation (Algorithm 3)."""
+
+    __slots__ = ("sender", "view_id", "allocation")
+
+    def __init__(self, sender, view_id, allocation):
+        self.sender = sender
+        self.view_id = view_id
+        self.allocation = dict(allocation)
+
+    def __repr__(self):
+        return "BalanceMsg({} view={} {} slots)".format(
+            self.sender, self.view_id, len(self.allocation)
+        )
+
+
+class AllocMsg:
+    """The representative's imposed allocation (§4.2 variant).
+
+    In representative-allocation mode the members do not run
+    Reallocate_IPs independently: the representative computes the
+    allocation once all STATE messages are in and imposes it, "enabling
+    changing the way virtual address allocation decisions are made
+    without breaking version compatibility".
+    """
+
+    __slots__ = ("sender", "view_id", "allocation")
+
+    def __init__(self, sender, view_id, allocation):
+        self.sender = sender
+        self.view_id = view_id
+        self.allocation = dict(allocation)
+
+    def __repr__(self):
+        return "AllocMsg({} view={} {} slots)".format(
+            self.sender, self.view_id, len(self.allocation)
+        )
+
+
+class MatureMsg:
+    """Maturity-timeout notification (§3.4).
+
+    Sent by a server whose maturity timeout expired with no mature
+    peer in sight; on delivery every member marks itself mature and
+    deterministically re-allocates the uncovered address space.
+    """
+
+    __slots__ = ("sender", "view_id")
+
+    def __init__(self, sender, view_id):
+        self.sender = sender
+        self.view_id = view_id
+
+    def __repr__(self):
+        return "MatureMsg({} view={})".format(self.sender, self.view_id)
+
+
+class ArpShareMsg:
+    """Periodic ARP-cache exchange for targeted notification (§5.2)."""
+
+    __slots__ = ("sender", "entries")
+
+    def __init__(self, sender, entries):
+        self.sender = sender
+        self.entries = tuple(entries)
+
+    def __repr__(self):
+        return "ArpShareMsg({}, {} entries)".format(self.sender, len(self.entries))

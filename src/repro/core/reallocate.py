@@ -1,0 +1,49 @@
+"""Reallocate_IPs(): deterministic hole-filling at the end of GATHER.
+
+Every member runs this on an identical table (guaranteed by agreed
+delivery of all STATE messages plus deterministic conflict
+resolution), so all members compute the same assignment without any
+further communication — the heart of the paper's Lemma 2.
+
+The minimal obligation is covering unallocated addresses; this
+implementation additionally spreads holes evenly (least-loaded member
+first) and honours explicit preferences, both of which the paper
+permits as long as the procedure stays deterministic.
+"""
+
+
+def reallocate_ips(table, preferences=None, weights=None):
+    """Assign every hole in ``table``; returns {slot: member} for new grants.
+
+    ``preferences`` maps member name -> tuple of preferred slot ids
+    (collected from STATE messages). A hole goes to a member that
+    prefers it when one exists; ties and the unpreferred remainder go
+    to the relatively least-loaded member, broken by membership order.
+
+    ``weights`` maps member name -> relative capacity (§3.4's
+    load-based reallocation; also from STATE messages). The relative
+    load of a member holding c slots is ``(c + 1) / weight`` for the
+    next grant, so shares converge toward the weight proportions. With
+    equal (or absent) weights this reduces to plain least-loaded.
+    """
+    preferences = preferences or {}
+    weights = weights or {}
+    counts = table.counts()
+    assignments = {}
+
+    def relative_load_after_grant(member):
+        return (counts[member] + 1) / weights.get(member, 1.0)
+
+    for slot in table.holes():
+        preferring = [
+            member for member in table.members if slot in preferences.get(member, ())
+        ]
+        candidates = preferring or list(table.members)
+        chosen = min(
+            candidates,
+            key=lambda member: (relative_load_after_grant(member), table.position(member)),
+        )
+        table.set_owner(slot, chosen)
+        counts[chosen] += 1
+        assignments[slot] = chosen
+    return assignments

@@ -1,0 +1,87 @@
+"""Minimal ASCII chart rendering for experiment output.
+
+`pytest benchmarks/` environments have no display; the figure
+reproductions print a text chart alongside the numeric table so the
+shape of the paper's figures (who is where, flat vs sloped) is visible
+directly in the terminal.
+"""
+
+MARKERS = "*o+x#@"
+
+
+def render_series(series, width=64, height=16, y_label="", x_label=""):
+    """Render an ASCII scatter/line chart.
+
+    ``series`` maps label -> list of (x, y) points. Returns a string
+    with a y-axis, the plotted points (one marker per series), an
+    x-axis, and a legend.
+    """
+    all_points = [point for points in series.values() for point in points]
+    if not all_points:
+        return "(no data)"
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    # Pad the top so markers don't sit on the frame.
+    y_max += (y_max - y_min) * 0.05
+    y_min = max(0.0, y_min - (y_max - y_min) * 0.05)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x, y):
+        column = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+        row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+        return (height - 1 - row), column
+
+    for index, (label, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        ordered = sorted(points)
+        for point_index, (x, y) in enumerate(ordered):
+            row, column = to_cell(x, y)
+            grid[row][column] = marker
+            if point_index > 0:
+                previous = ordered[point_index - 1]
+                _draw_segment(grid, to_cell(*previous), (row, column), marker)
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        value = y_max - (y_max - y_min) * row_index / (height - 1)
+        lines.append("{:>8.2f} |{}".format(value, "".join(row)))
+    lines.append(" " * 9 + "+" + "-" * width)
+    axis = " " * 10 + "{:<{pad}}{:>{pad2}}".format(
+        _fmt(x_min), _fmt(x_max), pad=width // 2, pad2=width - width // 2
+    )
+    lines.append(axis)
+    if x_label:
+        lines.append(" " * 10 + x_label.center(width))
+    legend = "   ".join(
+        "{} {}".format(MARKERS[i % len(MARKERS)], label)
+        for i, label in enumerate(series)
+    )
+    lines.append("")
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end, marker):
+    """Fill intermediate cells with light dots so series read as lines."""
+    (row_a, col_a), (row_b, col_b) = start, end
+    steps = max(abs(row_b - row_a), abs(col_b - col_a))
+    for step in range(1, steps):
+        row = row_a + (row_b - row_a) * step // steps
+        column = col_a + (col_b - col_a) * step // steps
+        if grid[row][column] == " ":
+            grid[row][column] = "."
+
+
+def _fmt(value):
+    if float(value).is_integer():
+        return str(int(value))
+    return "{:.2f}".format(value)

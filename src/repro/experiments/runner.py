@@ -1,0 +1,101 @@
+"""One fail-over trial: build a cluster, break it, measure from the client.
+
+Reproduces the §6 methodology: the probe client samples one virtual
+address every 10 ms; the fault disconnects the interface of that
+address's current owner; the availability interruption is the gap
+between the last reply from the victim and the first reply from the
+takeover server. The fault instant is drawn uniformly inside a
+heartbeat interval so the detection-phase randomness ([fd - hb, fd])
+is properly sampled across trials.
+"""
+
+from repro.apps.webcluster import WebClusterScenario
+from repro.sim.rng import RngRegistry
+
+
+class FailoverTrial:
+    """Result of one trial."""
+
+    __slots__ = (
+        "seed",
+        "cluster_size",
+        "n_vips",
+        "fault_mode",
+        "fault_time",
+        "interruption",
+        "victim",
+        "takeover",
+        "violations",
+    )
+
+    def __init__(self, seed, cluster_size, n_vips, fault_mode, fault_time,
+                 interruption, victim, takeover, violations):
+        self.seed = seed
+        self.cluster_size = cluster_size
+        self.n_vips = n_vips
+        self.fault_mode = fault_mode
+        self.fault_time = fault_time
+        self.interruption = interruption
+        self.victim = victim
+        self.takeover = takeover
+        self.violations = violations
+
+    def __repr__(self):
+        return "FailoverTrial(n={}, {}, interruption={})".format(
+            self.cluster_size, self.fault_mode, self.interruption
+        )
+
+
+def run_failover_trial(
+    seed,
+    cluster_size,
+    spread_config,
+    n_vips=10,
+    fault_mode="nic_down",
+    wackamole_overrides=None,
+    probe_interval=0.010,
+    settle_margin=2.0,
+):
+    """Run one complete fail-over measurement; returns a FailoverTrial."""
+    overrides = dict(wackamole_overrides or {})
+    overrides.setdefault("maturity_timeout", 2.0)
+    overrides.setdefault("balance_enabled", False)
+    scenario = WebClusterScenario(
+        seed=seed,
+        n_servers=cluster_size,
+        n_vips=n_vips,
+        spread_config=spread_config,
+        wackamole_overrides=overrides,
+        probe_interval=probe_interval,
+        trace_enabled=False,
+    )
+    scenario.start()
+    if not scenario.run_until_stable(timeout=60.0):
+        raise RuntimeError("cluster never stabilised (seed={})".format(seed))
+
+    probe = scenario.start_probe()
+    # Randomise the failure phase within a heartbeat interval.
+    phase = RngRegistry(seed).stream("fault_phase").uniform(0.0, 1.0)
+    warmup = 0.5 + phase * spread_config.heartbeat_timeout
+    scenario.sim.run_for(warmup)
+
+    fault_time = scenario.sim.now
+    victim = scenario.kill_owner_of(scenario.vips[0], mode=fault_mode)
+    lo, hi = spread_config.notification_window()
+    scenario.sim.run_for(hi + settle_margin)
+
+    interruption = probe.failover_interruption(after=fault_time)
+    probe.stop_probing()
+    takeover = scenario.owner_of(scenario.vips[0])
+    violations = scenario.auditor.check()
+    return FailoverTrial(
+        seed=seed,
+        cluster_size=cluster_size,
+        n_vips=n_vips,
+        fault_mode=fault_mode,
+        fault_time=fault_time,
+        interruption=interruption,
+        victim=victim.host.name,
+        takeover=takeover.host.name if takeover else None,
+        violations=violations,
+    )

@@ -1,0 +1,37 @@
+"""A Spread-like group communication system (the paper's substrate).
+
+Wackamole's correctness rests on three guarantees the Spread toolkit
+provides (§3.1, §4.1): *Virtual Synchrony* (daemons advancing together
+between two memberships deliver an identical set of messages in the
+first), *Agreed delivery* (messages delivered in the same total order
+everywhere), and a *membership service* handing every member an
+identically ordered participant list.
+
+This package implements a complete daemon/client GCS with those
+guarantees over the simulated LAN:
+
+* heartbeat-based failure detection with the paper's Table 1 timeouts
+  (distributed heartbeat, fault detection, discovery),
+* a membership protocol (GATHER -> FORM -> ACK -> INSTALL) with
+  virtual-synchrony message recovery across view changes,
+* agreed (totally ordered) multicast within each installed view,
+* client sessions and named process groups with lightweight join/leave
+  (a graceful client leave does not trigger daemon reconfiguration —
+  the optimisation §4.1 credits for fast voluntary hand-off).
+"""
+
+from repro.gcs.client import SpreadClient
+from repro.gcs.config import SpreadConfig
+from repro.gcs.daemon import SpreadDaemon
+from repro.gcs.messages import GroupView, SpreadMessage
+from repro.gcs.views import DaemonView, ViewId
+
+__all__ = [
+    "DaemonView",
+    "GroupView",
+    "SpreadClient",
+    "SpreadConfig",
+    "SpreadDaemon",
+    "SpreadMessage",
+    "ViewId",
+]

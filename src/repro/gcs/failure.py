@@ -1,0 +1,62 @@
+"""Heartbeat-driven failure detection.
+
+Implements the timing model behind Table 1: every daemon broadcasts a
+heartbeat each ``heartbeat_timeout``; a peer is suspected when nothing
+has been heard from it for ``fault_detection_timeout``. Because the
+failure can occur anywhere inside a heartbeat interval, the time from
+failure to suspicion falls in
+``[fault_detection - heartbeat, fault_detection]`` — the paper's
+detection window.
+"""
+
+from repro.sim.timers import Timer
+
+
+class FailureDetector:
+    """Per-peer suspicion timers for the members of the current view."""
+
+    def __init__(self, daemon, on_suspect):
+        self._daemon = daemon
+        self._on_suspect = on_suspect
+        self._timers = {}
+        self.suspicions = 0
+
+    @property
+    def watched(self):
+        """The peers currently being monitored."""
+        return frozenset(self._timers)
+
+    def watch(self, peers):
+        """Monitor exactly ``peers``; timers start fresh from now."""
+        self.stop()
+        timeout = self._daemon.config.fault_detection_timeout
+        for peer in peers:
+            if peer == self._daemon.daemon_id:
+                continue
+            timer = Timer(
+                self._daemon.sim.scheduler,
+                self._make_suspect(peer),
+                name="fd:{}".format(peer),
+            )
+            timer.start(timeout)
+            self._timers[peer] = timer
+
+    def heard_from(self, peer):
+        """Any traffic from a watched peer refreshes its timer."""
+        timer = self._timers.get(peer)
+        if timer is not None:
+            timer.start(self._daemon.config.fault_detection_timeout)
+
+    def stop(self):
+        """Cancel all suspicion timers (during reconfiguration)."""
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
+    def _make_suspect(self, peer):
+        def suspect():
+            self.suspicions += 1
+            self._timers.pop(peer, None)
+            self._on_suspect(peer)
+
+        return suspect

@@ -1,0 +1,275 @@
+"""The daemon membership protocol.
+
+State machine (one instance per daemon):
+
+* **OPERATIONAL** — a view is installed; agreed delivery runs; the
+  failure detector watches every other member.
+* **GATHER** — triggered by a suspicion, a foreign daemon's traffic, a
+  peer's JOIN, or a voluntary leave. The daemon broadcasts JOIN
+  messages and collects the set of daemons it can currently hear.
+  The *discovery timeout* (Table 1) bounds this phase; it restarts
+  whenever a new daemon is discovered, so the phase lasts one quiet
+  discovery interval.
+* **FORM_SENT** — the deterministic representative (lowest daemon id
+  among those gathered) proposes the membership and collects ACKs,
+  each carrying a recovery digest.
+* **ACK_SENT** — a non-representative accepted a proposal and awaits
+  the INSTALL.
+
+On INSTALL, every member first delivers — in sequence order — the
+union of old-view messages known by the members arriving from its own
+old view (Virtual Synchrony), then installs the identically ordered
+member list and returns to OPERATIONAL. Any timeout or surprise along
+the way falls back to GATHER, which makes the protocol robust to the
+cascading faults the paper's algorithm is designed around.
+"""
+
+from repro.gcs.messages import AckMsg, FormMsg, InstallMsg, JoinMsg
+from repro.gcs.views import DaemonView, ViewId
+
+OPERATIONAL = "operational"
+GATHER = "gather"
+FORM_SENT = "form_sent"
+ACK_SENT = "ack_sent"
+
+
+class MembershipEngine:
+    """Runs the membership state machine for one daemon."""
+
+    def __init__(self, daemon):
+        self.daemon = daemon
+        self.config = daemon.config
+        self.state = OPERATIONAL
+        self.view = DaemonView(ViewId(0, daemon.daemon_id), [daemon.daemon_id])
+        self.highest_counter = 0
+        self.alive = set()
+        self._proposal = None
+        self._acks = {}
+        self._acked_view_id = None
+        self.views_installed = 0
+        self.gathers_started = 0
+
+        self._join_timer = daemon.periodic(
+            self._broadcast_join, self.config.join_interval, name="join"
+        )
+        self._discovery_timer = daemon.timer(self._on_discovery_timeout, name="discovery")
+        self._form_wait_timer = daemon.timer(self._on_form_wait_timeout, name="form_wait")
+        self._ack_wait_timer = daemon.timer(self._on_ack_wait_timeout, name="ack_wait")
+        self._install_wait_timer = daemon.timer(
+            self._on_install_wait_timeout, name="install_wait"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self):
+        """Install the boot-time singleton view, then look for peers."""
+        self.daemon.install_initial_view(self.view)
+        self.trigger_gather("startup")
+
+    def shutdown(self):
+        """Stop all protocol timers (daemon is going away)."""
+        self._cancel_all_timers()
+
+    # ------------------------------------------------------------------
+    # entering GATHER
+
+    def trigger_gather(self, reason):
+        """(Re)start membership discovery."""
+        if self.state == OPERATIONAL:
+            self.daemon.on_leave_operational()
+        self._cancel_all_timers()
+        self.state = GATHER
+        self.gathers_started += 1
+        self._proposal = None
+        self._acks = {}
+        self._acked_view_id = None
+        self.alive = {self.daemon.daemon_id}
+        self.daemon.trace("membership", "gather", reason=reason)
+        self._join_timer.start(first_delay=0.0)
+        self._discovery_timer.start(self.config.discovery_timeout)
+
+    def _broadcast_join(self):
+        self.daemon.broadcast(JoinMsg(self.daemon.daemon_id, self.alive))
+
+    # ------------------------------------------------------------------
+    # message handlers (wired up by the daemon's dispatcher)
+
+    def on_join(self, message):
+        """A peer is reconfiguring; join the gather and note who we hear."""
+        sender = message.sender
+        if sender == self.daemon.daemon_id:
+            return
+        if self.state == OPERATIONAL:
+            self.trigger_gather("join from {}".format(sender))
+        if sender not in self.alive:
+            self.alive.add(sender)
+            if self.state in (FORM_SENT, ACK_SENT):
+                self._revert_to_gather("new daemon {} during agreement".format(sender))
+            self._discovery_timer.start(self.config.discovery_timeout)
+
+    def on_foreign_traffic(self, sender):
+        """Heartbeat or data from a daemon outside the current view."""
+        if self.state == OPERATIONAL and sender not in self.view:
+            self.trigger_gather("foreign daemon {}".format(sender))
+
+    def on_suspect(self, peer):
+        """The failure detector gave up on a view member."""
+        if self.state == OPERATIONAL:
+            self.trigger_gather("suspected {}".format(peer))
+
+    def on_leave_notice(self, message):
+        """A peer shut down voluntarily; reconfigure without waiting."""
+        if message.sender == self.daemon.daemon_id:
+            return
+        if self.state == OPERATIONAL and message.sender in self.view:
+            self.trigger_gather("voluntary leave of {}".format(message.sender))
+
+    def _revert_to_gather(self, reason):
+        self.state = GATHER
+        self._proposal = None
+        self._acks = {}
+        self._acked_view_id = None
+        self._form_wait_timer.cancel()
+        self._ack_wait_timer.cancel()
+        self._install_wait_timer.cancel()
+        if not self._join_timer.running:
+            self._join_timer.start(first_delay=0.0)
+        self.daemon.trace("membership", "revert_gather", reason=reason)
+
+    # ------------------------------------------------------------------
+    # discovery complete -> propose or await proposal
+
+    def _on_discovery_timeout(self):
+        if self.state != GATHER:
+            return
+        members = sorted(self.alive)
+        self._join_timer.stop()
+        view_id = ViewId(self.highest_counter + 1, members[0])
+        if members[0] == self.daemon.daemon_id:
+            proposal = FormMsg(self.daemon.daemon_id, view_id, members)
+            self._proposal = proposal
+            self._acks = {self.daemon.daemon_id: self.daemon.make_digest()}
+            self._acked_view_id = view_id
+            self.state = FORM_SENT
+            self.daemon.trace("membership", "form", view=repr(view_id), members=members)
+            self.daemon.broadcast(proposal)
+            self._ack_wait_timer.start(self.config.form_timeout)
+            self._maybe_complete()
+        else:
+            self._form_wait_timer.start(self.config.form_timeout)
+
+    def _on_form_wait_timeout(self):
+        self.trigger_gather("no FORM from expected representative")
+
+    def _on_ack_wait_timeout(self):
+        missing = sorted(set(self._proposal.members) - set(self._acks)) if self._proposal else []
+        self.trigger_gather("ACKs missing from {}".format(missing))
+
+    def _on_install_wait_timeout(self):
+        self.trigger_gather("no INSTALL received")
+
+    # ------------------------------------------------------------------
+    # proposal handling
+
+    def on_form(self, message):
+        """A representative proposed a membership."""
+        self.highest_counter = max(self.highest_counter, message.view_id.counter)
+        if self.daemon.daemon_id not in message.members:
+            if self.state == OPERATIONAL:
+                self.trigger_gather("excluded from FORM by {}".format(message.rep))
+            return
+        if self.state == OPERATIONAL:
+            # We missed the gather, but the representative still counts us in.
+            self.daemon.on_leave_operational()
+            self.alive = set(message.members)
+        if self._acked_view_id is not None and not self._acked_view_id < message.view_id:
+            return
+        self._join_timer.stop()
+        self._discovery_timer.cancel()
+        self._form_wait_timer.cancel()
+        self._ack_wait_timer.cancel()
+        self._proposal = None
+        self._acked_view_id = message.view_id
+        self.state = ACK_SENT
+        digest = self.daemon.make_digest()
+        self.daemon.unicast(message.rep, AckMsg(self.daemon.daemon_id, message.view_id, digest))
+        self._install_wait_timer.start(self.config.install_timeout)
+
+    def on_ack(self, message):
+        """Collect a member's acceptance (representative only)."""
+        if self.state != FORM_SENT or self._proposal is None:
+            return
+        if message.view_id != self._proposal.view_id:
+            return
+        if message.sender not in self._proposal.members:
+            return
+        self._acks[message.sender] = message.digest
+        self._maybe_complete()
+
+    def _maybe_complete(self):
+        if self._proposal is None or set(self._acks) < set(self._proposal.members):
+            return
+        recovery = {}
+        groups = {}
+        for digest in self._acks.values():
+            bucket = recovery.setdefault(digest.old_view_id, {})
+            bucket.update(digest.messages)
+            for group, members in digest.local_groups.items():
+                groups.setdefault(group, set()).update(members)
+        install = InstallMsg(
+            self.daemon.daemon_id,
+            self._proposal.view_id,
+            self._proposal.members,
+            recovery,
+            {group: tuple(sorted(members)) for group, members in groups.items()},
+        )
+        self._ack_wait_timer.cancel()
+        self.daemon.broadcast(install)
+        self._apply_install(install)
+
+    # ------------------------------------------------------------------
+    # installation
+
+    def on_install(self, message):
+        """The representative committed the new view."""
+        self.highest_counter = max(self.highest_counter, message.view_id.counter)
+        if self.daemon.daemon_id not in message.members:
+            if self.state == OPERATIONAL:
+                self.trigger_gather("excluded from INSTALL by {}".format(message.rep))
+            return
+        if not self.view.view_id < message.view_id:
+            return
+        if self._acked_view_id != message.view_id:
+            # Our digest is not part of this view; rejoin cleanly instead.
+            self.trigger_gather("INSTALL {} without matching ACK".format(message.view_id))
+            return
+        self._apply_install(message)
+
+    def _apply_install(self, install):
+        self._cancel_all_timers()
+        old_view = self.view
+        self.view = DaemonView(install.view_id, install.members)
+        self.highest_counter = max(self.highest_counter, install.view_id.counter)
+        self.state = OPERATIONAL
+        self._proposal = None
+        self._acks = {}
+        self._acked_view_id = None
+        self.alive = set()
+        self.views_installed += 1
+        self.daemon.trace(
+            "membership",
+            "install",
+            view=repr(install.view_id),
+            members=list(install.members),
+        )
+        self.daemon.apply_install(install, old_view)
+
+    # ------------------------------------------------------------------
+
+    def _cancel_all_timers(self):
+        self._join_timer.stop()
+        self._discovery_timer.cancel()
+        self._form_wait_timer.cancel()
+        self._ack_wait_timer.cancel()
+        self._install_wait_timer.cancel()

@@ -1,0 +1,238 @@
+"""Agreed (totally ordered) delivery within one installed view.
+
+The representative of the view doubles as sequencer: members unicast
+submissions to it, it assigns consecutive sequence numbers and
+broadcasts. Receivers deliver strictly in sequence, NACKing gaps. The
+full per-view message log is retained so the membership protocol can
+ship it in recovery digests — that log is what makes Virtual Synchrony
+across view changes possible.
+"""
+
+from repro.gcs.messages import AruMsg, NackMsg, OrderedMsg, SubmitMsg
+from repro.sim.timers import Timer
+
+
+class PendingSubmission:
+    """A locally originated message not yet seen back in the total order."""
+
+    __slots__ = ("msg_id", "kind", "group", "payload", "service")
+
+    def __init__(self, msg_id, kind, group, payload, service=OrderedMsg.AGREED):
+        self.msg_id = msg_id
+        self.kind = kind
+        self.group = group
+        self.payload = payload
+        self.service = service
+
+
+class ViewOrderer:
+    """Sequencing, gap repair, and in-order delivery for one view."""
+
+    def __init__(self, daemon, view):
+        self._daemon = daemon
+        self.view_id = view.view_id
+        self.members = view.members
+        self.sequencer = view.members[0]
+        self.log = {}
+        self.delivered_aru = 0
+        self.advertised_top = 0
+        self.frozen = False
+        self._next_assign = 1
+        self._seen_submits = set()
+        self._pending = {}
+        # SAFE-delivery bookkeeping: contiguous receipt point per member.
+        self.recv_aru = 0
+        self._member_arus = {member: 0 for member in view.members}
+        self._announced_aru = 0
+        self._resubmit_timer = Timer(
+            daemon.sim.scheduler, self._resubmit_pending, name="resubmit"
+        )
+        self._nack_timer = Timer(daemon.sim.scheduler, self._send_nack, name="nack")
+
+    @property
+    def is_sequencer(self):
+        """True when this daemon orders messages for the view."""
+        return self._daemon.daemon_id == self.sequencer
+
+    # ------------------------------------------------------------------
+    # sending
+
+    def submit(self, kind, group, payload, msg_id=None, service=OrderedMsg.AGREED):
+        """Originate one message into the total order."""
+        if msg_id is None:
+            msg_id = self._daemon.next_msg_id()
+        if self.frozen:
+            self._pending[msg_id] = PendingSubmission(msg_id, kind, group, payload, service)
+            return msg_id
+        if self.is_sequencer:
+            self._order(self._daemon.daemon_id, msg_id, kind, group, payload, service)
+        else:
+            self._pending[msg_id] = PendingSubmission(msg_id, kind, group, payload, service)
+            self._unicast_submit(msg_id, kind, group, payload, service)
+            if not self._resubmit_timer.armed:
+                self._resubmit_timer.start(self._daemon.config.resubmit_interval)
+        return msg_id
+
+    def _unicast_submit(self, msg_id, kind, group, payload, service):
+        message = SubmitMsg(
+            self._daemon.daemon_id, self.view_id, msg_id, kind, group, payload, service
+        )
+        self._daemon.unicast(self.sequencer, message)
+
+    def _resubmit_pending(self):
+        if self.frozen or not self._daemon.alive or not self._pending:
+            return
+        for pending in list(self._pending.values()):
+            self._unicast_submit(
+                pending.msg_id, pending.kind, pending.group, pending.payload,
+                pending.service,
+            )
+        self._resubmit_timer.start(self._daemon.config.resubmit_interval)
+
+    # ------------------------------------------------------------------
+    # sequencer side
+
+    def on_submit(self, message):
+        """Order a member's submission (idempotent under retries)."""
+        if self.frozen or not self.is_sequencer or message.view_id != self.view_id:
+            return
+        key = (message.sender, message.msg_id)
+        if key in self._seen_submits:
+            return
+        self._seen_submits.add(key)
+        self._order(
+            message.sender,
+            message.msg_id,
+            message.kind,
+            message.group,
+            message.payload,
+            getattr(message, "service", OrderedMsg.AGREED),
+        )
+
+    def _order(self, origin, msg_id, kind, group, payload, service=OrderedMsg.AGREED):
+        seq = self._next_assign
+        self._next_assign += 1
+        ordered = OrderedMsg(
+            self.view_id, seq, origin, msg_id, kind, group, payload, service
+        )
+        self.log[seq] = ordered
+        self._advance_recv_aru()
+        self._daemon.broadcast(ordered)
+        self._deliver_ready()
+
+    def on_nack(self, message):
+        """Retransmit sequences a member reports missing."""
+        if not self.is_sequencer or message.view_id != self.view_id:
+            return
+        for seq in message.missing:
+            ordered = self.log.get(seq)
+            if ordered is not None:
+                self._daemon.unicast(message.sender, ordered)
+
+    # ------------------------------------------------------------------
+    # receiver side
+
+    def on_ordered(self, message):
+        """Accept one sequenced broadcast for this view."""
+        if self.frozen or message.view_id != self.view_id:
+            return
+        if message.seq in self.log:
+            return
+        self.log[message.seq] = message
+        if message.origin == self._daemon.daemon_id:
+            self._pending.pop(message.msg_id, None)
+        self._advance_recv_aru()
+        self._deliver_ready()
+        if self._has_gap() and not self._nack_timer.armed:
+            self._nack_timer.start(self._daemon.config.gap_nack_delay)
+
+    def top_seq(self):
+        """Highest sequence number known in this view."""
+        highest = max(self.log) if self.log else 0
+        return max(highest, self.delivered_aru, self.advertised_top)
+
+    def on_top_seq(self, view_id, top_seq):
+        """A peer advertised its top sequence (tail-loss detection)."""
+        if self.frozen or view_id != self.view_id:
+            return
+        if top_seq > self.advertised_top:
+            self.advertised_top = top_seq
+        if self._has_gap() and not self._nack_timer.armed:
+            self._nack_timer.start(self._daemon.config.gap_nack_delay)
+
+    def _deliver_ready(self):
+        while not self.frozen and (self.delivered_aru + 1) in self.log:
+            head = self.log[self.delivered_aru + 1]
+            if head.service == OrderedMsg.SAFE and not self._stable(head.seq):
+                # Not yet received everywhere: SAFE delivery (and hence
+                # everything ordered after it) waits for stability.
+                break
+            self.delivered_aru += 1
+            self._daemon.apply_ordered(head)
+
+    # ------------------------------------------------------------------
+    # SAFE delivery: receipt tracking and stability
+
+    def _advance_recv_aru(self):
+        while (self.recv_aru + 1) in self.log:
+            self.recv_aru += 1
+        self._member_arus[self._daemon.daemon_id] = max(
+            self._member_arus.get(self._daemon.daemon_id, 0), self.recv_aru
+        )
+        if self._safe_pending() and self.recv_aru > self._announced_aru:
+            self._announced_aru = self.recv_aru
+            self._daemon.broadcast(
+                AruMsg(self._daemon.daemon_id, self.view_id, self.recv_aru)
+            )
+
+    def _safe_pending(self):
+        for seq in range(self.delivered_aru + 1, self.recv_aru + 1):
+            message = self.log.get(seq)
+            if message is not None and message.service == OrderedMsg.SAFE:
+                return True
+        return False
+
+    def _stable(self, seq):
+        return all(aru >= seq for aru in self._member_arus.values())
+
+    def on_aru(self, view_id, member, aru):
+        """A peer acknowledged contiguous receipt up to ``aru``."""
+        if self.frozen or view_id != self.view_id or member not in self._member_arus:
+            return
+        if aru > self._member_arus[member]:
+            self._member_arus[member] = aru
+            self._deliver_ready()
+
+    def _has_gap(self):
+        return self.top_seq() > self.delivered_aru
+
+    def _send_nack(self):
+        if self.frozen or not self._daemon.alive or not self._has_gap():
+            return
+        missing = [
+            seq
+            for seq in range(self.delivered_aru + 1, self.top_seq() + 1)
+            if seq not in self.log
+        ]
+        if missing:
+            self._daemon.unicast(
+                self.sequencer, NackMsg(self._daemon.daemon_id, self.view_id, missing)
+            )
+        self._nack_timer.start(self._daemon.config.gap_nack_delay)
+
+    # ------------------------------------------------------------------
+    # view-change support
+
+    def freeze(self):
+        """Stop delivering and sending; the view is being torn down."""
+        self.frozen = True
+        self._resubmit_timer.cancel()
+        self._nack_timer.cancel()
+
+    def pending_submissions(self):
+        """Messages originated here that never appeared in the order."""
+        return list(self._pending.values())
+
+    def mark_recovered(self, msg_id):
+        """Drop a pending submission that surfaced during recovery."""
+        self._pending.pop(msg_id, None)

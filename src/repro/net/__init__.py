@@ -1,0 +1,64 @@
+"""Simulated local-area network substrate.
+
+This package stands in for the physical 100 Mbit Ethernet LAN, the
+kernel network stack, and the ARP machinery that the paper's testbed
+used. It models exactly the observable behaviour the fail-over
+protocols depend on:
+
+* NICs that can bind and release multiple IP addresses (virtual IPs),
+* a broadcast domain with configurable latency/jitter/loss and
+  partition support,
+* per-host ARP caches that go stale when a VIP moves and are refreshed
+  by (possibly spoofed) ARP replies,
+* UDP sockets, and IP forwarding for router hosts.
+"""
+
+from repro.net.addresses import (
+    BROADCAST_MAC,
+    IPAddress,
+    MACAddress,
+    Subnet,
+)
+from repro.net.arp import ArpCache, ArpEntry, ArpService
+from repro.net.capture import CapturedFrame, PacketCapture
+from repro.net.fault import FaultInjector
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.net.nic import Nic
+from repro.net.packet import (
+    ARP_ETHERTYPE,
+    IP_ETHERTYPE,
+    ArpOp,
+    ArpPacket,
+    EthernetFrame,
+    IpPacket,
+    UdpDatagram,
+)
+from repro.net.router import Router, StaticRoute
+from repro.net.sockets import UdpSocket
+
+__all__ = [
+    "ARP_ETHERTYPE",
+    "ArpCache",
+    "ArpEntry",
+    "ArpOp",
+    "ArpPacket",
+    "ArpService",
+    "BROADCAST_MAC",
+    "CapturedFrame",
+    "EthernetFrame",
+    "FaultInjector",
+    "Host",
+    "IPAddress",
+    "IP_ETHERTYPE",
+    "IpPacket",
+    "Lan",
+    "MACAddress",
+    "Nic",
+    "PacketCapture",
+    "Router",
+    "StaticRoute",
+    "Subnet",
+    "UdpDatagram",
+    "UdpSocket",
+]

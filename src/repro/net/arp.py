@@ -1,0 +1,181 @@
+"""Address Resolution Protocol with cache and spoofing support.
+
+ARP is on the critical path of the paper's headline measurement: after
+a VIP moves, traffic keeps flowing to the dead interface's MAC until
+the new owner's (spoofed) ARP reply overwrites the stale cache entry on
+the router/client. This module models the cache, request/reply
+resolution with retries, and unsolicited (gratuitous or spoofed)
+updates.
+
+Simplification vs. real ARP: any received ARP packet refreshes the
+receiver's cache entry for the sender (create-or-update). Real stacks
+are choosier about creating entries from unsolicited packets, but the
+behaviour that matters here — stale entries persisting until a spoofed
+reply arrives — is identical.
+"""
+
+from repro.net.addresses import BROADCAST_MAC, IPAddress
+from repro.net.packet import ARP_ETHERTYPE, ArpOp, ArpPacket, EthernetFrame
+
+
+class ArpEntry:
+    """One cached <IP, MAC> binding with its last refresh time."""
+
+    __slots__ = ("mac", "updated_at")
+
+    def __init__(self, mac, updated_at):
+        self.mac = mac
+        self.updated_at = updated_at
+
+    def __repr__(self):
+        return "ArpEntry({}, t={:.4f})".format(self.mac, self.updated_at)
+
+
+class ArpCache:
+    """Per-host ARP cache with entry lifetime."""
+
+    def __init__(self, clock, lifetime=60.0):
+        self._clock = clock
+        self.lifetime = float(lifetime)
+        self._entries = {}
+        self.updates = 0
+
+    def lookup(self, ip):
+        """Return the cached MAC for ``ip``, or None if absent/expired."""
+        ip = IPAddress(ip)
+        entry = self._entries.get(ip)
+        if entry is None:
+            return None
+        if self._clock() - entry.updated_at > self.lifetime:
+            del self._entries[ip]
+            return None
+        return entry.mac
+
+    def store(self, ip, mac):
+        """Create or refresh the entry for ``ip``."""
+        ip = IPAddress(ip)
+        self._entries[ip] = ArpEntry(mac, self._clock())
+        self.updates += 1
+
+    def drop(self, ip):
+        """Remove the entry for ``ip`` if present."""
+        self._entries.pop(IPAddress(ip), None)
+
+    def snapshot(self):
+        """Dict copy {ip: mac} of non-expired entries."""
+        now = self._clock()
+        return {
+            ip: entry.mac
+            for ip, entry in self._entries.items()
+            if now - entry.updated_at <= self.lifetime
+        }
+
+    def known_ips(self):
+        """IPs with a live entry (the set Wackamole's notify targets)."""
+        return set(self.snapshot())
+
+    def __len__(self):
+        return len(self.snapshot())
+
+
+class ArpService:
+    """The ARP protocol engine for one host.
+
+    Owns the cache, answers requests for locally bound addresses,
+    resolves next-hop MACs (queueing outbound packets while a request
+    is in flight), and can emit spoofed replies on behalf of a newly
+    acquired virtual address.
+    """
+
+    REQUEST_TIMEOUT = 1.0
+    MAX_RETRIES = 3
+
+    def __init__(self, host, cache_lifetime=60.0):
+        self.host = host
+        self.cache = ArpCache(lambda: host.sim.now, lifetime=cache_lifetime)
+        self._pending = {}
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.spoofs_sent = 0
+
+    def handle(self, nic, packet):
+        """Process an incoming ARP packet on ``nic``."""
+        self.cache.store(packet.sender_ip, packet.sender_mac)
+        self._flush_pending(packet.sender_ip)
+        if packet.op == ArpOp.REQUEST and nic.owns_ip(packet.target_ip):
+            self._send_reply(nic, packet)
+
+    def resolve_and_send(self, nic, next_hop_ip, ip_packet):
+        """Send ``ip_packet`` out of ``nic`` toward ``next_hop_ip``.
+
+        Transmits immediately on a cache hit; otherwise queues the
+        packet and launches a (retried) ARP request. Packets are
+        dropped if resolution fails after all retries.
+        """
+        next_hop_ip = IPAddress(next_hop_ip)
+        mac = self.cache.lookup(next_hop_ip)
+        if mac is not None:
+            self._transmit_ip(nic, mac, ip_packet)
+            return
+        queue = self._pending.setdefault(next_hop_ip, [])
+        queue.append((nic, ip_packet))
+        if len(queue) == 1:
+            self._send_request(nic, next_hop_ip, retries_left=self.MAX_RETRIES)
+
+    def announce(self, nic, ip, target_macs=None):
+        """Broadcast (or unicast) a spoofed/gratuitous ARP reply for ``ip``.
+
+        This is the cache-repointing mechanism of §5.1: the reply claims
+        ``ip`` is at ``nic.mac``. With ``target_macs`` the notification
+        is unicast to specific hosts (§5.2's targeted router updates);
+        otherwise it is broadcast to the whole segment.
+        """
+        packet = ArpPacket(ArpOp.REPLY, IPAddress(ip), nic.mac, IPAddress(ip), nic.mac)
+        destinations = target_macs if target_macs else [BROADCAST_MAC]
+        for mac in destinations:
+            frame = EthernetFrame(nic.mac, mac, ARP_ETHERTYPE, packet)
+            nic.transmit(frame)
+            self.spoofs_sent += 1
+        self.host.trace("arp", "announce", ip=str(ip), targets=len(destinations))
+
+    def _send_request(self, nic, target_ip, retries_left):
+        if self.cache.lookup(target_ip) is not None or target_ip not in self._pending:
+            return
+        source_ip = nic.primary_ip or IPAddress(0)
+        packet = ArpPacket(ArpOp.REQUEST, source_ip, nic.mac, target_ip)
+        frame = EthernetFrame(nic.mac, BROADCAST_MAC, ARP_ETHERTYPE, packet)
+        nic.transmit(frame)
+        self.requests_sent += 1
+        if retries_left > 0:
+            self.host.after(
+                self.REQUEST_TIMEOUT, self._send_request, nic, target_ip, retries_left - 1
+            )
+        else:
+            self.host.after(self.REQUEST_TIMEOUT, self._give_up, target_ip)
+
+    def _give_up(self, target_ip):
+        dropped = self._pending.pop(target_ip, [])
+        if dropped:
+            self.host.trace("arp", "resolution_failed", ip=str(target_ip), dropped=len(dropped))
+
+    def _send_reply(self, nic, request):
+        packet = ArpPacket(
+            ArpOp.REPLY, request.target_ip, nic.mac, request.sender_ip, request.sender_mac
+        )
+        frame = EthernetFrame(nic.mac, request.sender_mac, ARP_ETHERTYPE, packet)
+        nic.transmit(frame)
+        self.replies_sent += 1
+
+    def _flush_pending(self, ip):
+        queue = self._pending.pop(IPAddress(ip), None)
+        if not queue:
+            return
+        mac = self.cache.lookup(ip)
+        for nic, ip_packet in queue:
+            self._transmit_ip(nic, mac, ip_packet)
+
+    def _transmit_ip(self, nic, dst_mac, ip_packet):
+        from repro.net.packet import IP_ETHERTYPE
+
+        frame = EthernetFrame(nic.mac, dst_mac, IP_ETHERTYPE, ip_packet)
+        nic.transmit(frame)

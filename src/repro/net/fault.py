@@ -1,0 +1,64 @@
+"""Fault injection: the experiment section's failure repertoire.
+
+§6 induces faults "by disconnecting the interface through which Spread,
+Wackamole, and the experimental server access the network" — that is
+:meth:`FaultInjector.nic_down`. Crashes, graceful recovery, and switch
+partitions/merges (§3.1) are also provided, both immediately and as
+scheduled events for scripted fault timelines.
+"""
+
+
+class FaultInjector:
+    """Applies (and optionally schedules) faults against hosts and LANs."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.log = []
+
+    def _record(self, kind, target):
+        self.log.append((self.sim.now, kind, target))
+        self.sim.trace.emit("fault", "injector", kind, target=target)
+
+    # ------------------------------------------------------------------
+    # immediate faults
+
+    def crash_host(self, host):
+        """Fail-stop the host (timers die, NICs stop responding)."""
+        self._record("crash", host.name)
+        host.crash()
+
+    def recover_host(self, host):
+        """Bring a crashed host back (protocol daemons must restart themselves)."""
+        self._record("recover", host.name)
+        host.recover()
+
+    def nic_down(self, nic):
+        """Disconnect one interface — the paper's §6 fault."""
+        self._record("nic_down", nic.name)
+        nic.set_up(False)
+
+    def nic_up(self, nic):
+        """Reconnect a disconnected interface."""
+        self._record("nic_up", nic.name)
+        nic.set_up(True)
+
+    def partition(self, lan, groups):
+        """Split a LAN into isolated groups of hosts/NICs."""
+        self._record("partition", lan.name)
+        lan.partition(groups)
+
+    def heal(self, lan):
+        """Merge a partitioned LAN back into one segment."""
+        self._record("heal", lan.name)
+        lan.heal()
+
+    # ------------------------------------------------------------------
+    # scheduled faults
+
+    def at(self, time, action, *args):
+        """Schedule any injector method at an absolute simulated time."""
+        return self.sim.at(time, action, *args)
+
+    def after(self, delay, action, *args):
+        """Schedule any injector method after ``delay`` seconds."""
+        return self.sim.after(delay, action, *args)

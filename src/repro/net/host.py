@@ -1,0 +1,243 @@
+"""Simulated hosts: NICs, ARP, UDP sockets, and IP output routing.
+
+A Host is the unit that crashes and recovers. Crash semantics: a
+crashed host neither receives nor sends; its NICs stay attached to the
+LAN (so stale ARP entries elsewhere keep blackholing traffic toward its
+MACs — exactly the failure mode the paper's fail-over repairs).
+"""
+
+from repro.net.addresses import BROADCAST_MAC, IPAddress
+from repro.net.arp import ArpService
+from repro.net.nic import Nic
+from repro.net.packet import (
+    ARP_ETHERTYPE,
+    IP_ETHERTYPE,
+    EthernetFrame,
+    IpPacket,
+    UdpDatagram,
+)
+from repro.net.sockets import UdpSocket
+from repro.sim.process import Process
+
+
+class Host(Process):
+    """One machine on the simulated network."""
+
+    def __init__(self, sim, name, arp_cache_lifetime=60.0):
+        super().__init__(sim, name)
+        self._nics = []
+        self.arp = ArpService(self, cache_lifetime=arp_cache_lifetime)
+        self._sockets = []
+        self.default_gateway = None
+        self.ip_forwarding = False
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self._services = []
+        self._load_mean_delay = 0.0
+        self._load_rng = None
+
+    # ------------------------------------------------------------------
+    # interfaces
+
+    def add_nic(self, lan, primary_ip, name=None):
+        """Attach a new interface on ``lan`` with a stationary address."""
+        nic = Nic(self, lan, primary_ip, name=name)
+        self._nics.append(nic)
+        return nic
+
+    @property
+    def nics(self):
+        """All interfaces (tuple snapshot)."""
+        return tuple(self._nics)
+
+    def nic_on(self, lan):
+        """The interface attached to ``lan``, or None."""
+        for nic in self._nics:
+            if nic.lan is lan:
+                return nic
+        return None
+
+    def local_ips(self):
+        """Every IP bound to an up interface."""
+        addresses = set()
+        for nic in self._nics:
+            if nic.up:
+                addresses.update(nic.bound_ips)
+        return addresses
+
+    def owns_ip(self, address):
+        """True when ``address`` is bound to one of this host's up NICs."""
+        address = IPAddress(address)
+        return any(nic.up and nic.owns_ip(address) for nic in self._nics)
+
+    def set_load(self, mean_delay):
+        """Model a loaded machine: user-space datagram delivery incurs
+        an exponential scheduling delay with the given mean (seconds).
+
+        Kernel work — ARP, IP forwarding — is unaffected, and sockets
+        opened with ``realtime=True`` (real-time priority processes,
+        §6) bypass the delay entirely. Zero disables the model.
+        """
+        self._load_mean_delay = float(mean_delay)
+        if self._load_mean_delay > 0 and self._load_rng is None:
+            self._load_rng = self.sim.rng.stream("load/{}".format(self.name))
+
+    def set_default_gateway(self, gateway_ip):
+        """Set the off-link next hop for destinations outside all subnets."""
+        self.default_gateway = IPAddress(gateway_ip)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+
+    def register_service(self, process):
+        """Tie a daemon process's lifetime to this host (dies on crash)."""
+        self._services.append(process)
+
+    def crash(self):
+        """Fail-stop: kill services and timers, stop receiving and sending.
+
+        All sockets close (nothing survives a machine failure); daemons
+        must be restarted explicitly after :meth:`recover`.
+        """
+        self.trace("host", "crash")
+        for service in self._services:
+            service.stop()
+        self._services = []
+        for socket in list(self._sockets):
+            socket.closed = True
+        self._sockets = []
+        self.stop()
+
+    def recover(self):
+        """Reboot: fresh ARP cache, interfaces reset to primaries only."""
+        self.restart()
+        self.arp.cache = type(self.arp.cache)(lambda: self.sim.now)
+        for nic in self._nics:
+            nic.reset()
+        self.trace("host", "recover")
+
+    # ------------------------------------------------------------------
+    # frame input
+
+    def handle_frame(self, nic, frame):
+        """Dispatch an incoming frame from one of this host's NICs."""
+        if not self.alive:
+            return
+        if frame.ethertype == ARP_ETHERTYPE:
+            self.arp.handle(nic, frame.payload)
+        elif frame.ethertype == IP_ETHERTYPE:
+            self._handle_ip(nic, frame.payload)
+
+    def _handle_ip(self, nic, packet):
+        dst = packet.dst_ip
+        if dst == nic.lan.subnet.broadcast_address or self.owns_ip(dst):
+            self._deliver_local(packet)
+        elif self.ip_forwarding:
+            self.forward_packet(packet)
+        else:
+            self.packets_dropped += 1
+
+    def _deliver_local(self, packet):
+        datagram = packet.payload
+        if not isinstance(datagram, UdpDatagram):
+            self.packets_dropped += 1
+            return
+        for socket in self._sockets:
+            if socket.matches(packet.dst_ip, datagram.dst_port):
+                if self._load_mean_delay > 0 and not socket.realtime:
+                    delay = self._load_rng.expovariate(1.0 / self._load_mean_delay)
+                    self.sim.scheduler.after(
+                        delay,
+                        socket.deliver,
+                        datagram.payload,
+                        packet.src_ip,
+                        datagram.src_port,
+                        packet.dst_ip,
+                    )
+                else:
+                    socket.deliver(
+                        datagram.payload, packet.src_ip, datagram.src_port, packet.dst_ip
+                    )
+                return
+        self.packets_dropped += 1
+
+    # ------------------------------------------------------------------
+    # sockets and UDP output
+
+    def open_udp(self, port, handler, bind_ip=None, realtime=False):
+        """Bind a UDP socket; ``handler(payload, (src_ip, src_port), (dst_ip, dst_port))``."""
+        for socket in self._sockets:
+            if socket.port == port and socket.bind_ip == (
+                IPAddress(bind_ip) if bind_ip is not None else None
+            ):
+                raise ValueError("port {} already bound on {}".format(port, self.name))
+        socket = UdpSocket(self, port, handler, bind_ip=bind_ip, realtime=realtime)
+        self._sockets.append(socket)
+        return socket
+
+    def release_socket(self, socket):
+        """Remove a closed socket (called by UdpSocket.close)."""
+        if socket in self._sockets:
+            self._sockets.remove(socket)
+
+    def send_udp(self, payload, dst_ip, dst_port, src_port=0, src_ip=None):
+        """Build and route one UDP/IP packet."""
+        if not self.alive:
+            return
+        dst_ip = IPAddress(dst_ip)
+        datagram = UdpDatagram(src_port, int(dst_port), payload)
+        nic = self._output_nic(dst_ip)
+        if nic is None:
+            self.packets_dropped += 1
+            self.trace("ip", "no_route", dst=str(dst_ip))
+            return
+        if src_ip is None:
+            src_ip = nic.primary_ip
+        if src_ip is None:
+            self.packets_dropped += 1
+            return
+        packet = IpPacket(IPAddress(src_ip), dst_ip, datagram)
+        self.send_ip(packet)
+
+    # ------------------------------------------------------------------
+    # IP output routing
+
+    def send_ip(self, packet):
+        """Route an IP packet out of the correct interface."""
+        if not self.alive:
+            return
+        dst = packet.dst_ip
+        for nic in self._nics:
+            if nic.up and dst == nic.lan.subnet.broadcast_address:
+                frame = EthernetFrame(nic.mac, BROADCAST_MAC, IP_ETHERTYPE, packet)
+                nic.transmit(frame)
+                return
+        nic, next_hop = self._route(dst)
+        if nic is None:
+            self.packets_dropped += 1
+            self.trace("ip", "no_route", dst=str(dst))
+            return
+        self.arp.resolve_and_send(nic, next_hop, packet)
+
+    def forward_packet(self, packet):
+        """Router-style forwarding hook; overridden to consult route tables."""
+        if packet.ttl <= 1:
+            self.packets_dropped += 1
+            return
+        self.packets_forwarded += 1
+        self.send_ip(packet.forwarded_copy())
+
+    def _route(self, dst_ip):
+        """(nic, next_hop_ip) for ``dst_ip``: on-link beats gateway."""
+        for nic in self._nics:
+            if nic.up and dst_ip in nic.lan.subnet:
+                return nic, dst_ip
+        if self.default_gateway is not None:
+            for nic in self._nics:
+                if nic.up and self.default_gateway in nic.lan.subnet:
+                    return nic, self.default_gateway
+        return None, None
+
+    def _output_nic(self, dst_ip):
+        nic, _ = self._route(dst_ip)
+        return nic

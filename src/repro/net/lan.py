@@ -1,0 +1,106 @@
+"""A LAN segment: one broadcast domain with partition support.
+
+Frames are delivered after a configurable latency (plus optional
+jitter) to every attached, up interface in the same *partition group*
+as the sender. Partitioning a LAN into groups models the switch
+failures the paper mentions (§3.1 footnote); healing restores a single
+group. Unicast frames reach the interface(s) owning the destination
+MAC; broadcast frames reach everyone in the group.
+"""
+
+from repro.net.addresses import Subnet
+
+
+class Lan:
+    """One simulated broadcast domain."""
+
+    def __init__(self, sim, name, subnet, latency=0.0002, jitter=0.0, loss=0.0):
+        self.sim = sim
+        self.name = name
+        self.subnet = Subnet(subnet)
+        self.latency = float(latency)
+        self.jitter = float(jitter)
+        self.loss = float(loss)
+        self._nics = []
+        self._groups = {}
+        self._rng = sim.rng.stream("lan/{}".format(name))
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_lost = 0
+
+    def attach(self, nic):
+        """Register an interface on this segment (called by Nic)."""
+        self._nics.append(nic)
+        self._groups[nic] = 0
+
+    def detach(self, nic):
+        """Remove an interface from the segment."""
+        if nic in self._groups:
+            self._nics.remove(nic)
+            del self._groups[nic]
+
+    @property
+    def nics(self):
+        """All attached interfaces (tuple snapshot)."""
+        return tuple(self._nics)
+
+    def partition(self, groups):
+        """Split the segment: ``groups`` is an iterable of NIC collections.
+
+        Every listed NIC is placed in the group matching its position;
+        NICs not listed keep group 0. Accepts hosts as well — all of a
+        host's NICs on this LAN are then moved together.
+        """
+        assignment = {}
+        for index, members in enumerate(groups, start=1):
+            for member in members:
+                for nic in self._nics_of(member):
+                    assignment[nic] = index
+        for nic in self._nics:
+            self._groups[nic] = assignment.get(nic, 0)
+        self.sim.trace.emit(
+            "lan", self.name, "partition", groups=sorted(self._groups.values())
+        )
+
+    def heal(self):
+        """Merge all groups back into one broadcast domain."""
+        for nic in self._nics:
+            self._groups[nic] = 0
+        self.sim.trace.emit("lan", self.name, "heal")
+
+    def group_of(self, nic):
+        """Partition group currently containing ``nic``."""
+        return self._groups[nic]
+
+    def _nics_of(self, member):
+        if hasattr(member, "nics"):
+            return [nic for nic in member.nics if nic.lan is self]
+        return [member]
+
+    def connected(self, nic_a, nic_b):
+        """True when two interfaces can currently exchange frames."""
+        return self._groups[nic_a] == self._groups[nic_b]
+
+    def transmit(self, frame, src_nic):
+        """Deliver ``frame`` from ``src_nic`` per MAC addressing rules."""
+        self.frames_sent += 1
+        src_group = self._groups[src_nic]
+        broadcast = frame.dst_mac.is_broadcast
+        for nic in self._nics:
+            if nic is src_nic:
+                continue
+            if self._groups[nic] != src_group:
+                continue
+            if not broadcast and nic.mac != frame.dst_mac:
+                continue
+            if self.loss and self._rng.random() < self.loss:
+                self.frames_lost += 1
+                continue
+            delay = self.latency
+            if self.jitter:
+                delay += self._rng.uniform(0.0, self.jitter)
+            self.frames_delivered += 1
+            self.sim.scheduler.after(delay, nic.deliver, frame)
+
+    def __repr__(self):
+        return "Lan({}, {}, {} nics)".format(self.name, self.subnet, len(self._nics))

@@ -1,0 +1,100 @@
+"""Network interface cards.
+
+A NIC belongs to one host, attaches to one LAN segment, and holds a
+*mutable set of bound IP addresses*: the primary (stationary) address
+plus any virtual addresses currently acquired by a fail-over protocol.
+Binding and unbinding stand in for the platform-specific interface
+management code of the real Wackamole.
+"""
+
+from repro.net.addresses import IPAddress, MACAddress
+
+_next_mac = [0x020000000001]
+
+
+def allocate_mac():
+    """Hand out a fresh locally-administered MAC address."""
+    mac = MACAddress(_next_mac[0])
+    _next_mac[0] += 1
+    return mac
+
+
+class Nic:
+    """One interface: MAC identity, bound IPs, and an up/down state."""
+
+    def __init__(self, host, lan, primary_ip, name=None, mac=None):
+        self.host = host
+        self.lan = lan
+        self.mac = mac if mac is not None else allocate_mac()
+        self.name = name or "{}.{}".format(host.name, lan.name)
+        self.primary_ip = IPAddress(primary_ip) if primary_ip is not None else None
+        self._bound = set()
+        if self.primary_ip is not None:
+            if self.primary_ip not in lan.subnet:
+                raise ValueError(
+                    "{} not in subnet {} of LAN {}".format(primary_ip, lan.subnet, lan.name)
+                )
+            self._bound.add(self.primary_ip)
+        self.up = True
+        lan.attach(self)
+
+    @property
+    def bound_ips(self):
+        """Frozen view of every IP currently bound to this interface."""
+        return frozenset(self._bound)
+
+    @property
+    def virtual_ips(self):
+        """Bound IPs other than the primary (the fail-over managed set)."""
+        extras = set(self._bound)
+        extras.discard(self.primary_ip)
+        return frozenset(extras)
+
+    def bind_ip(self, address):
+        """Acquire ``address`` on this interface (idempotent)."""
+        address = IPAddress(address)
+        if address not in self.lan.subnet:
+            raise ValueError(
+                "cannot bind {}: outside subnet {}".format(address, self.lan.subnet)
+            )
+        self._bound.add(address)
+
+    def unbind_ip(self, address):
+        """Release ``address``; the primary address cannot be released."""
+        address = IPAddress(address)
+        if address == self.primary_ip:
+            raise ValueError("cannot unbind the primary address {}".format(address))
+        self._bound.discard(address)
+
+    def owns_ip(self, address):
+        """True when ``address`` is currently bound here."""
+        return IPAddress(address) in self._bound
+
+    def set_up(self, up):
+        """Administratively raise or lower the interface."""
+        self.up = bool(up)
+
+    def reset(self):
+        """Reboot semantics: drop every virtual address, come back up."""
+        self._bound = {self.primary_ip} if self.primary_ip is not None else set()
+        self.up = True
+
+    def transmit(self, frame):
+        """Send a frame onto the LAN; silently dropped if the NIC is down."""
+        if not self.up:
+            return
+        self.lan.transmit(frame, self)
+
+    def deliver(self, frame):
+        """Called by the LAN when a frame arrives for this NIC."""
+        if not self.up or not self.host.alive:
+            return
+        self.host.handle_frame(self, frame)
+
+    def __repr__(self):
+        return "Nic({}, mac={}, ips={}, {})".format(
+            self.name,
+            self.mac,
+            sorted(str(ip) for ip in self._bound),
+            "up" if self.up else "down",
+        )

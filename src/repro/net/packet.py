@@ -1,0 +1,100 @@
+"""Frame and packet types carried by the simulated LAN.
+
+Layering matches the real stack closely enough for the protocols under
+study: Ethernet frames carry either ARP packets or IP packets; IP
+packets carry UDP datagrams whose payload is an arbitrary (conceptually
+immutable) Python object standing in for wire bytes.
+"""
+
+ARP_ETHERTYPE = 0x0806
+IP_ETHERTYPE = 0x0800
+
+
+class EthernetFrame:
+    """A link-layer frame delivered by MAC address on one LAN segment."""
+
+    __slots__ = ("src_mac", "dst_mac", "ethertype", "payload")
+
+    def __init__(self, src_mac, dst_mac, ethertype, payload):
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.ethertype = ethertype
+        self.payload = payload
+
+    def __repr__(self):
+        return "EthernetFrame({} -> {}, type=0x{:04x}, {!r})".format(
+            self.src_mac, self.dst_mac, self.ethertype, self.payload
+        )
+
+
+class ArpOp:
+    """ARP operation codes."""
+
+    REQUEST = 1
+    REPLY = 2
+
+
+class ArpPacket:
+    """An ARP request or reply.
+
+    Spoofed replies — the mechanism Wackamole uses to repoint the
+    router at a VIP's new owner — are ordinary ArpPackets whose
+    ``sender_mac`` belongs to the spoofing host.
+    """
+
+    __slots__ = ("op", "sender_ip", "sender_mac", "target_ip", "target_mac")
+
+    def __init__(self, op, sender_ip, sender_mac, target_ip, target_mac=None):
+        self.op = op
+        self.sender_ip = sender_ip
+        self.sender_mac = sender_mac
+        self.target_ip = target_ip
+        self.target_mac = target_mac
+
+    @property
+    def is_gratuitous(self):
+        """True when sender and target IP match (unsolicited announce)."""
+        return self.sender_ip == self.target_ip
+
+    def __repr__(self):
+        kind = "REQUEST" if self.op == ArpOp.REQUEST else "REPLY"
+        return "Arp{}(sender {}@{}, target {})".format(
+            kind, self.sender_ip, self.sender_mac, self.target_ip
+        )
+
+
+class IpPacket:
+    """A network-layer packet routed by IP address."""
+
+    __slots__ = ("src_ip", "dst_ip", "ttl", "payload")
+
+    DEFAULT_TTL = 64
+
+    def __init__(self, src_ip, dst_ip, payload, ttl=DEFAULT_TTL):
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.ttl = ttl
+        self.payload = payload
+
+    def forwarded_copy(self):
+        """A copy with decremented TTL, as produced by a router hop."""
+        return IpPacket(self.src_ip, self.dst_ip, self.payload, ttl=self.ttl - 1)
+
+    def __repr__(self):
+        return "IpPacket({} -> {}, ttl={}, {!r})".format(
+            self.src_ip, self.dst_ip, self.ttl, self.payload
+        )
+
+
+class UdpDatagram:
+    """A transport-layer datagram addressed by port."""
+
+    __slots__ = ("src_port", "dst_port", "payload")
+
+    def __init__(self, src_port, dst_port, payload):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.payload = payload
+
+    def __repr__(self):
+        return "UdpDatagram({} -> {}, {!r})".format(self.src_port, self.dst_port, self.payload)

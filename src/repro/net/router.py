@@ -1,0 +1,88 @@
+"""IP routers: hosts with forwarding and a longest-prefix route table.
+
+The web-cluster scenario (Fig. 3) has one router in front of the
+servers; the virtual-router scenario (Fig. 4) runs Wackamole *on* a set
+of these. Routes can be static or installed at runtime by the
+simplified dynamic-routing protocol in :mod:`repro.apps.routing`.
+"""
+
+from repro.net.addresses import IPAddress, Subnet
+from repro.net.host import Host
+
+
+class StaticRoute:
+    """One route table entry: destination subnet via gateway (or on-link)."""
+
+    __slots__ = ("subnet", "gateway", "source")
+
+    def __init__(self, subnet, gateway=None, source="static"):
+        self.subnet = Subnet(subnet)
+        self.gateway = IPAddress(gateway) if gateway is not None else None
+        self.source = source
+
+    def __repr__(self):
+        via = str(self.gateway) if self.gateway else "on-link"
+        return "StaticRoute({} via {}, {})".format(self.subnet, via, self.source)
+
+
+class Router(Host):
+    """A forwarding host with an explicit route table."""
+
+    def __init__(self, sim, name, arp_cache_lifetime=60.0):
+        super().__init__(sim, name, arp_cache_lifetime=arp_cache_lifetime)
+        self.ip_forwarding = True
+        self._routes = []
+
+    def add_route(self, subnet, gateway=None, source="static"):
+        """Install a route; replaces any same-subnet route from any source."""
+        subnet = Subnet(subnet)
+        self._routes = [r for r in self._routes if r.subnet != subnet]
+        route = StaticRoute(subnet, gateway, source=source)
+        self._routes.append(route)
+        return route
+
+    def remove_route(self, subnet):
+        """Withdraw the route for ``subnet`` if present."""
+        subnet = Subnet(subnet)
+        self._routes = [r for r in self._routes if r.subnet != subnet]
+
+    def remove_routes_from(self, source):
+        """Withdraw every route installed by ``source`` (e.g. a protocol)."""
+        self._routes = [r for r in self._routes if r.source != source]
+
+    def routes(self):
+        """Snapshot of the route table."""
+        return list(self._routes)
+
+    def lookup_route(self, dst_ip):
+        """Longest-prefix match over connected subnets and the route table."""
+        dst_ip = IPAddress(dst_ip)
+        best = None
+        best_prefix = -1
+        for nic in self.nics:
+            if nic.up and dst_ip in nic.lan.subnet and nic.lan.subnet.prefix > best_prefix:
+                best = (nic, dst_ip)
+                best_prefix = nic.lan.subnet.prefix
+        for route in self._routes:
+            if dst_ip in route.subnet and route.subnet.prefix > best_prefix:
+                gateway = route.gateway
+                nic = self._nic_toward(gateway) if gateway is not None else None
+                if nic is not None:
+                    best = (nic, gateway)
+                    best_prefix = route.subnet.prefix
+        return best
+
+    def _nic_toward(self, gateway_ip):
+        for nic in self.nics:
+            if nic.up and gateway_ip in nic.lan.subnet:
+                return nic
+        return None
+
+    def _route(self, dst_ip):
+        match = self.lookup_route(dst_ip)
+        if match is not None:
+            return match
+        return super()._route(dst_ip)
+
+    def __repr__(self):
+        return "Router({}, {} routes)".format(self.name, len(self._routes))

@@ -1,0 +1,63 @@
+"""UDP socket endpoints.
+
+A socket is bound to a port (and optionally one local IP). The handler
+receives the payload plus full addressing information — servers in the
+paper's experiment reply *from the virtual IP they were addressed at*,
+so the destination address is part of the delivery.
+"""
+
+from repro.net.addresses import IPAddress
+
+
+class UdpSocket:
+    """One bound UDP endpoint on a host.
+
+    ``realtime`` marks the owning process as running with real-time
+    scheduling priority (§6's production recommendation): its
+    deliveries bypass the host's load-induced scheduling delay.
+    """
+
+    def __init__(self, host, port, handler, bind_ip=None, realtime=False):
+        self.host = host
+        self.port = int(port)
+        self.handler = handler
+        self.bind_ip = IPAddress(bind_ip) if bind_ip is not None else None
+        self.realtime = bool(realtime)
+        self.closed = False
+        self.received = 0
+        self.sent = 0
+
+    def matches(self, dst_ip, dst_port):
+        """True when a datagram addressed to (dst_ip, dst_port) lands here."""
+        if self.closed or dst_port != self.port:
+            return False
+        return self.bind_ip is None or self.bind_ip == dst_ip
+
+    def deliver(self, payload, src_ip, src_port, dst_ip):
+        """Hand an incoming datagram to the application handler."""
+        if self.closed:
+            return
+        self.received += 1
+        self.handler(payload, (src_ip, src_port), (dst_ip, self.port))
+
+    def sendto(self, payload, dst_ip, dst_port, src_ip=None):
+        """Send a datagram; source IP defaults to the outbound NIC's primary."""
+        if self.closed:
+            raise RuntimeError("socket on port {} is closed".format(self.port))
+        self.sent += 1
+        self.host.send_udp(
+            payload,
+            dst_ip,
+            dst_port,
+            src_port=self.port,
+            src_ip=src_ip if src_ip is not None else self.bind_ip,
+        )
+
+    def close(self):
+        """Unbind; pending deliveries are dropped."""
+        self.closed = True
+        self.host.release_socket(self)
+
+    def __repr__(self):
+        bind = str(self.bind_ip) if self.bind_ip else "*"
+        return "UdpSocket({}:{} on {})".format(bind, self.port, self.host.name)

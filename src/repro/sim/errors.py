@@ -1,0 +1,13 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation packages."""
+
+
+class SchedulerError(SimulationError):
+    """An event was scheduled or executed in an invalid way.
+
+    Typical causes: scheduling in the past, or running a scheduler that
+    has already been stopped.
+    """

@@ -1,0 +1,44 @@
+"""Scheduled events.
+
+An :class:`Event` is the handle returned by the scheduler for every
+scheduled callback. Holders can cancel it; the scheduler skips cancelled
+events cheaply instead of removing them from the heap.
+"""
+
+
+class Event:
+    """A single scheduled callback, cancellable by its holder."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from running; safe to call repeatedly."""
+        self.cancelled = True
+
+    @property
+    def pending(self):
+        """True while the event has neither fired nor been cancelled."""
+        return not self.cancelled and self.callback is not None
+
+    def fire(self):
+        """Run the callback once and release references to it."""
+        if self.cancelled or self.callback is None:
+            return
+        callback, args = self.callback, self.args
+        self.callback = None
+        self.args = None
+        callback(*args)
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending" if self.pending else "fired"
+        return "Event(t={:.6f}, seq={}, {})".format(self.time, self.seq, state)

@@ -1,0 +1,108 @@
+"""The discrete-event scheduler.
+
+A binary-heap event queue over (time, sequence) keys. The sequence
+number makes execution order deterministic for events scheduled at the
+same simulated instant: they run in scheduling order (FIFO), which is
+what message-passing protocols expect.
+"""
+
+import heapq
+
+from repro.sim.errors import SchedulerError
+from repro.sim.events import Event
+
+
+class Scheduler:
+    """Priority queue of timed callbacks driving simulated time forward."""
+
+    def __init__(self, start_time=0.0):
+        self._now = float(start_time)
+        self._seq = 0
+        self._heap = []
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_count(self):
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def events_fired(self):
+        """Total number of callbacks executed so far."""
+        return self._events_fired
+
+    def at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulerError(
+                "cannot schedule at {:.6f}, now is {:.6f}".format(time, self._now)
+            )
+        event = Event(float(time), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SchedulerError("negative delay: {}".format(delay))
+        return self.at(self._now + delay, callback, *args)
+
+    def run(self, until=None, max_events=None):
+        """Execute events in order.
+
+        Stops when the queue drains, when simulated time would pass
+        ``until`` (the clock is then advanced exactly to ``until``), or
+        after ``max_events`` callbacks. Returns the number of callbacks
+        executed during this call.
+        """
+        if self._running:
+            raise SchedulerError("scheduler is already running (reentrant run call)")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.fire()
+                fired += 1
+                self._events_fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return fired
+
+    def run_until_idle(self, max_events=10_000_000):
+        """Run until no events remain; guard against runaway loops."""
+        fired = self.run(max_events=max_events)
+        if self._heap and self._live_events_remain():
+            raise SchedulerError(
+                "run_until_idle exceeded max_events={} with events pending".format(max_events)
+            )
+        return fired
+
+    def _live_events_remain(self):
+        return any(not event.cancelled for event in self._heap)
+
+    def next_event_time(self):
+        """Time of the next live event, or None if the queue is idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

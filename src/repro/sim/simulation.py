@@ -1,0 +1,44 @@
+"""The Simulation facade: scheduler + rng + trace in one handle.
+
+Every component in the reproduction receives a Simulation instance; it
+is the single source of time, randomness and logging for a run.
+"""
+
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceLog
+
+
+class Simulation:
+    """One self-contained simulated world."""
+
+    def __init__(self, seed=0, trace_enabled=True, trace_capacity=None):
+        self.scheduler = Scheduler()
+        self.rng = RngRegistry(seed)
+        self.trace = TraceLog(enabled=trace_enabled, capacity=trace_capacity)
+        self.trace.bind_clock(lambda: self.scheduler.now)
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self.scheduler.now
+
+    def after(self, delay, callback, *args):
+        """Schedule a callback after ``delay`` seconds."""
+        return self.scheduler.after(delay, callback, *args)
+
+    def at(self, time, callback, *args):
+        """Schedule a callback at absolute simulated ``time``."""
+        return self.scheduler.at(time, callback, *args)
+
+    def run(self, until=None, max_events=None):
+        """Advance the simulation; see :meth:`Scheduler.run`."""
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def run_for(self, duration, max_events=None):
+        """Advance the simulation by ``duration`` seconds."""
+        return self.scheduler.run(until=self.now + duration, max_events=max_events)
+
+    def run_until_idle(self, max_events=10_000_000):
+        """Run until the event queue drains."""
+        return self.scheduler.run_until_idle(max_events=max_events)

@@ -1,0 +1,81 @@
+"""Cancellable one-shot and periodic timers built on the scheduler.
+
+Protocol code (heartbeats, fault-detection timeouts, balance timers)
+uses these instead of raw scheduler events so that restarting or
+cancelling a timeout is a one-line operation.
+"""
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` (re)arms the timer; a second ``start`` cancels the first
+    deadline, which is how protocol timeouts are refreshed.
+    """
+
+    def __init__(self, scheduler, callback, name=""):
+        self._scheduler = scheduler
+        self._callback = callback
+        self._event = None
+        self.name = name
+
+    @property
+    def armed(self):
+        """True when a deadline is currently pending."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def deadline(self):
+        """Absolute time of the pending deadline, or None."""
+        if not self.armed:
+            return None
+        return self._event.time
+
+    def start(self, delay):
+        """Arm (or re-arm) the timer to fire after ``delay`` seconds."""
+        self.cancel()
+        self._event = self._scheduler.after(delay, self._fire)
+
+    def cancel(self):
+        """Disarm the timer if it is pending."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self):
+        self._event = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """A repeating timer; fires every ``interval`` seconds until stopped."""
+
+    def __init__(self, scheduler, callback, interval, name=""):
+        if interval <= 0:
+            raise ValueError("interval must be positive, got {}".format(interval))
+        self._scheduler = scheduler
+        self._callback = callback
+        self.interval = float(interval)
+        self._event = None
+        self.name = name
+
+    @property
+    def running(self):
+        """True while ticks are being scheduled."""
+        return self._event is not None and self._event.pending
+
+    def start(self, first_delay=None):
+        """Begin ticking; first tick after ``first_delay`` (default: interval)."""
+        self.stop()
+        delay = self.interval if first_delay is None else first_delay
+        self._event = self._scheduler.after(delay, self._tick)
+
+    def stop(self):
+        """Stop ticking; safe to call when not running."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self):
+        self._event = self._scheduler.after(self.interval, self._tick)
+        self._callback()

@@ -1,0 +1,88 @@
+"""Structured trace log for simulation runs.
+
+Protocols append records instead of printing; tests and the experiment
+harness query the log to reconstruct timelines (e.g. "when did daemon 3
+install view 7", "when did the client first hear from the new owner").
+"""
+
+
+class TraceRecord:
+    """One trace entry: time, category, source component, event, details."""
+
+    __slots__ = ("time", "category", "source", "event", "details")
+
+    def __init__(self, time, category, source, event, details):
+        self.time = time
+        self.category = category
+        self.source = source
+        self.event = event
+        self.details = details
+
+    def __repr__(self):
+        return "[{:10.4f}] {:<10} {:<18} {} {}".format(
+            self.time, self.category, self.source, self.event, self.details or ""
+        )
+
+
+class TraceLog:
+    """Append-only event log with simple filtering helpers."""
+
+    def __init__(self, clock=None, enabled=True, capacity=None):
+        self._clock = clock
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records = []
+        self._counts = {}
+
+    def bind_clock(self, clock):
+        """Attach the callable returning current simulated time."""
+        self._clock = clock
+
+    def emit(self, category, source, event, **details):
+        """Record one event; drops silently when tracing is disabled."""
+        key = (category, event)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if not self.enabled:
+            return None
+        time = self._clock() if self._clock is not None else 0.0
+        record = TraceRecord(time, category, source, event, details)
+        self.records.append(record)
+        if self.capacity is not None and len(self.records) > self.capacity:
+            del self.records[: len(self.records) - self.capacity]
+        return record
+
+    def count(self, category, event=None):
+        """Number of emits for a category (optionally a specific event)."""
+        if event is not None:
+            return self._counts.get((category, event), 0)
+        return sum(n for (cat, _), n in self._counts.items() if cat == category)
+
+    def select(self, category=None, source=None, event=None, since=None):
+        """Return records matching all supplied filters, in time order."""
+        out = []
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if source is not None and record.source != source:
+                continue
+            if event is not None and record.event != event:
+                continue
+            if since is not None and record.time < since:
+                continue
+            out.append(record)
+        return out
+
+    def last(self, category=None, source=None, event=None):
+        """Most recent matching record, or None."""
+        matches = self.select(category=category, source=source, event=event)
+        return matches[-1] if matches else None
+
+    def clear(self):
+        """Drop all records and counters."""
+        self.records.clear()
+        self._counts.clear()
+
+    def format(self, category=None, source=None, event=None):
+        """Human-readable dump of matching records (for debugging)."""
+        lines = [repr(r) for r in self.select(category=category, source=source, event=event)]
+        return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Unit tests for the simplified dynamic-routing protocol."""
+
+from repro.apps.routing import RipSpeaker, RouteAdvertisement
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.net.router import Router
+from repro.sim.simulation import Simulation
+
+
+def build(interval=5.0, listening=True):
+    sim = Simulation(seed=5)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    upstream = Router(sim, "upstream")
+    upstream.add_nic(lan, "10.0.0.254")
+    speaker_up = RipSpeaker(
+        upstream, lan, originate=("8.8.8.0/24",), interval=interval
+    )
+    learner = Router(sim, "learner")
+    learner.add_nic(lan, "10.0.0.1")
+    speaker = RipSpeaker(learner, lan, interval=interval, listening=listening)
+    speaker_up.start()
+    speaker.start()
+    return sim, lan, upstream, learner, speaker, speaker_up
+
+
+def test_routes_learned_from_advertisements():
+    sim, lan, upstream, learner, speaker, _ = build()
+    sim.run_for(1.0)
+    match = learner.lookup_route("8.8.8.8")
+    assert match is not None
+    nic, gateway = match
+    assert str(gateway) == "10.0.0.254"
+    assert speaker.learned_subnets() == ["8.8.8.0/24"]
+
+
+def test_not_listening_learns_nothing():
+    sim, lan, upstream, learner, speaker, _ = build(listening=False)
+    sim.run_for(10.0)
+    assert learner.lookup_route("8.8.8.8") is None
+
+
+def test_enabling_listening_learns_at_next_round():
+    sim, lan, upstream, learner, speaker, _ = build(interval=5.0, listening=False)
+    sim.run_for(7.0)
+    speaker.set_listening(True)
+    sim.run_for(1.0)
+    assert learner.lookup_route("8.8.8.8") is None  # next round not yet
+    sim.run_for(5.0)
+    assert learner.lookup_route("8.8.8.8") is not None
+
+
+def test_disabling_listening_flushes_learned_routes():
+    sim, lan, upstream, learner, speaker, _ = build()
+    sim.run_for(1.0)
+    assert learner.lookup_route("8.8.8.8") is not None
+    speaker.set_listening(False)
+    assert learner.lookup_route("8.8.8.8") is None
+    assert speaker.learned_subnets() == []
+
+
+def test_routes_expire_without_refresh():
+    sim, lan, upstream, learner, speaker, up_speaker = build(interval=5.0)
+    sim.run_for(1.0)
+    assert learner.lookup_route("8.8.8.8") is not None
+    # Silence the advertiser; the learned route must eventually die.
+    up_speaker.stop()
+    sim.run_for(speaker.route_ttl + speaker.route_ttl / 2)
+    assert learner.lookup_route("8.8.8.8") is None
+
+
+def test_propagation_re_advertises_learned_routes_with_higher_metric():
+    sim = Simulation(seed=6)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    origin = Router(sim, "origin")
+    origin.add_nic(lan, "10.0.0.254")
+    RipSpeaker(origin, lan, originate=("8.8.8.0/24",), interval=2.0).start()
+    middle = Router(sim, "middle")
+    middle.add_nic(lan, "10.0.0.1")
+    relay = RipSpeaker(middle, lan, interval=2.0, propagate=True)
+    relay.start()
+    # Capture what the relay broadcasts once it has learned the route.
+    captured = []
+    edge = Router(sim, "edge")
+    edge.add_nic(lan, "10.0.0.2")
+    edge.open_udp(520, lambda p, s, d: captured.append((str(s[0]), p)))
+    sim.run_for(6.0)
+    relayed = [
+        advert
+        for source, advert in captured
+        if source == "10.0.0.1" and isinstance(advert, RouteAdvertisement)
+    ]
+    assert relayed, "relay never re-advertised"
+    routes = dict(relayed[-1].routes)
+    assert routes.get("8.8.8.0/24") == 2  # origin's metric 1, plus one hop
+
+
+def test_advertisement_counters():
+    sim, lan, upstream, learner, speaker, up_speaker = build(interval=1.0)
+    sim.run_for(5.5)
+    assert up_speaker.advertisements_sent >= 5
+    assert speaker.routes_learned >= 1
+
+
+def test_empty_originate_sends_nothing():
+    sim, lan, upstream, learner, speaker, _ = build()
+    sim.run_for(5.0)
+    assert speaker.advertisements_sent == 0
+
+
+def test_infinity_metric_ignored():
+    sim, lan, upstream, learner, speaker, _ = build()
+    advert = RouteAdvertisement("x", [("9.9.9.0/24", RipSpeaker.INFINITY)])
+    speaker._on_advertisement(advert, ("10.0.0.254", 520), ("10.0.0.255", 520))
+    assert learner.lookup_route("9.9.9.9") is None

@@ -1,0 +1,110 @@
+"""Unit tests for the §6 measurement workload."""
+
+from repro.apps.workload import ProbeClient, UdpEchoServer
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+
+def build():
+    sim = Simulation(seed=4)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    server_host = Host(sim, "server")
+    server_host.add_nic(lan, "10.0.0.1")
+    server = UdpEchoServer(server_host)
+    client_host = Host(sim, "client")
+    client_host.add_nic(lan, "10.0.0.2")
+    return sim, lan, server_host, server, client_host
+
+
+def test_probe_receives_hostname_replies():
+    sim, lan, server_host, server, client_host = build()
+    probe = ProbeClient(client_host, "10.0.0.1")
+    probe.start()
+    sim.run_for(0.1)
+    assert probe.responses
+    assert probe.responses[0].server == "server"
+
+
+def test_probe_interval_is_10ms_by_default():
+    sim, lan, server_host, server, client_host = build()
+    probe = ProbeClient(client_host, "10.0.0.1")
+    assert probe.interval == 0.010
+    probe.start()
+    sim.run_for(0.1)
+    assert 9 <= probe.requests_sent <= 11
+
+
+def test_reply_sent_from_requested_vip():
+    sim, lan, server_host, server, client_host = build()
+    server_host.nics[0].bind_ip("10.0.0.50")
+    sources = []
+    client_host.open_udp(
+        9999, lambda p, s, d: sources.append(str(s[0]))
+    )
+    client_host.send_udp(("req", 1), "10.0.0.50", 8080, src_port=9999)
+    sim.run_until_idle()
+    assert sources == ["10.0.0.50"]
+
+
+def test_failover_interruption_measures_server_change_gap():
+    sim, lan, server_host, server, client_host = build()
+    backup = Host(sim, "backup")
+    backup.add_nic(lan, "10.0.0.3")
+    server_host.nics[0].bind_ip("10.0.0.50")
+    probe = ProbeClient(client_host, "10.0.0.50")
+    probe.start()
+    sim.run_for(0.5)
+    fault_time = sim.now
+    server_host.crash()
+    # Backup takes over 0.3 s later.
+    def takeover():
+        UdpEchoServer(backup)
+        backup.nics[0].bind_ip("10.0.0.50")
+        backup.arp.announce(backup.nics[0], "10.0.0.50")
+
+    sim.after(0.3, takeover)
+    sim.run_for(1.0)
+    gap = probe.failover_interruption(after=fault_time)
+    assert gap is not None
+    assert 0.29 <= gap <= 0.35
+    assert probe.servers_seen() == ["server", "backup"]
+
+
+def test_longest_gap_without_server_change():
+    sim, lan, server_host, server, client_host = build()
+    probe = ProbeClient(client_host, "10.0.0.1")
+    probe.start()
+    sim.run_for(0.3)
+    server._socket.closed = True
+    sim.after(0.2, lambda: setattr(server._socket, "closed", False))
+    sim.run_for(1.0)
+    gap = probe.longest_gap(after=0.0)
+    assert 0.19 <= gap <= 0.25
+
+
+def test_response_rate():
+    sim, lan, server_host, server, client_host = build()
+    probe = ProbeClient(client_host, "10.0.0.1")
+    probe.start()
+    sim.run_for(0.5)
+    assert probe.response_rate() > 0.9
+
+
+def test_stop_probing_halts_requests():
+    sim, lan, server_host, server, client_host = build()
+    probe = ProbeClient(client_host, "10.0.0.1")
+    probe.start()
+    sim.run_for(0.1)
+    probe.stop_probing()
+    sent = probe.requests_sent
+    sim.run_for(0.2)
+    assert probe.requests_sent == sent
+
+
+def test_no_failover_returns_none():
+    sim, lan, server_host, server, client_host = build()
+    probe = ProbeClient(client_host, "10.0.0.1")
+    probe.start()
+    sim.run_for(0.2)
+    assert probe.failover_interruption(after=0.0) is None

@@ -1,0 +1,98 @@
+"""Unit tests for the Linux-Fake-style probe/takeover baseline."""
+
+from repro.baselines.fake import FakeFailover
+from repro.net.fault import FaultInjector
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+VIP = "10.0.0.100"
+
+
+def build(**kwargs):
+    sim = Simulation(seed=3)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    main = Host(sim, "main")
+    main.add_nic(lan, "10.0.0.1")
+    main.nics[0].bind_ip(VIP)
+    FakeFailover.serve_probes(main)
+    backup = Host(sim, "backup")
+    backup.add_nic(lan, "10.0.0.2")
+    failover = FakeFailover(backup, lan, VIP, probe_target="10.0.0.1", **kwargs)
+    failover.start()
+    return sim, lan, main, backup, failover
+
+
+def test_no_takeover_while_main_healthy():
+    sim, lan, main, backup, failover = build()
+    sim.run_for(30.0)
+    assert not failover.taken_over
+    assert not backup.owns_ip(VIP)
+    assert failover.consecutive_failures == 0
+
+
+def test_takeover_after_threshold_failures():
+    sim, lan, main, backup, failover = build()
+    sim.run_for(5.0)
+    fault_time = sim.now
+    FaultInjector(sim).crash_host(main)
+    sim.run_for(10.0)
+    assert failover.taken_over
+    assert backup.owns_ip(VIP)
+    record = sim.trace.last(category="fake", event="takeover")
+    detection = record.time - fault_time
+    expected_max = (
+        failover.failure_threshold * failover.probe_interval + failover.probe_timeout + 0.1
+    )
+    assert detection <= expected_max
+
+
+def test_takeover_sends_gratuitous_arp():
+    sim, lan, main, backup, failover = build()
+    client = Host(sim, "client")
+    client.add_nic(lan, "10.0.0.9")
+    client.open_udp(50, lambda p, s, d: None)
+    client.send_udp("warm", VIP, 1490, src_port=50)
+    sim.run_for(5.0)
+    FaultInjector(sim).crash_host(main)
+    sim.run_for(10.0)
+    assert client.arp.cache.lookup(VIP) == backup.nics[0].mac
+
+
+def test_single_spurious_timeout_does_not_trigger():
+    sim, lan, main, backup, failover = build(failure_threshold=3)
+    sim.run_for(5.0)
+    failover._on_probe_timeout()
+    sim.run_for(5.0)
+    assert not failover.taken_over
+    assert failover.consecutive_failures == 0  # reset by later replies
+
+
+def test_yield_on_return_releases_vip():
+    sim, lan, main, backup, failover = build(yield_on_return=True)
+    sim.run_for(2.0)
+    FaultInjector(sim).crash_host(main)
+    sim.run_for(10.0)
+    assert failover.taken_over
+    FaultInjector(sim).recover_host(main)
+    FakeFailover.serve_probes(main)
+    sim.run_for(10.0)
+    assert not failover.taken_over
+    assert not backup.owns_ip(VIP)
+
+
+def test_no_yield_by_default():
+    sim, lan, main, backup, failover = build()
+    sim.run_for(2.0)
+    FaultInjector(sim).crash_host(main)
+    sim.run_for(10.0)
+    FaultInjector(sim).recover_host(main)
+    FakeFailover.serve_probes(main)
+    sim.run_for(10.0)
+    assert failover.taken_over
+
+
+def test_probe_counter_advances():
+    sim, lan, main, backup, failover = build()
+    sim.run_for(5.0)
+    assert failover.probes_sent >= 4

@@ -1,0 +1,86 @@
+"""Unit tests for the HSRP baseline."""
+
+from repro.baselines.hsrp import ACTIVE, LISTEN, STANDBY, HsrpRouter
+from repro.net.fault import FaultInjector
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+VIP = "10.0.0.100"
+
+
+def build(priorities=(110, 100, 90)):
+    sim = Simulation(seed=2)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    hosts, routers = [], []
+    for index, priority in enumerate(priorities):
+        host = Host(sim, "r{}".format(index + 1))
+        host.add_nic(lan, "10.0.0.{}".format(1 + index))
+        router = HsrpRouter(host, lan, VIP, priority)
+        router.start()
+        hosts.append(host)
+        routers.append(router)
+    return sim, lan, hosts, routers
+
+
+def test_election_produces_one_active_one_standby():
+    sim, lan, hosts, routers = build()
+    sim.run_for(30.0)
+    states = [r.state for r in routers]
+    assert states.count(ACTIVE) == 1
+    assert states.count(STANDBY) == 1
+    assert routers[0].state == ACTIVE
+    assert routers[1].state == STANDBY
+    assert routers[2].state == LISTEN
+
+
+def test_active_binds_vip():
+    sim, lan, hosts, routers = build()
+    sim.run_for(30.0)
+    assert hosts[0].owns_ip(VIP)
+    assert not hosts[1].owns_ip(VIP)
+
+
+def test_standby_takes_over_within_hold_time():
+    sim, lan, hosts, routers = build()
+    sim.run_for(30.0)
+    fault_time = sim.now
+    FaultInjector(sim).crash_host(hosts[0])
+    sim.run_for(15.0)
+    assert routers[1].state == ACTIVE
+    assert hosts[1].owns_ip(VIP)
+    takeover = routers[1].transitions[-1][0]
+    assert takeover - fault_time <= routers[1].hold_time + 0.1
+
+
+def test_listener_promoted_to_standby_after_takeover():
+    sim, lan, hosts, routers = build()
+    sim.run_for(30.0)
+    FaultInjector(sim).crash_host(hosts[0])
+    sim.run_for(25.0)
+    assert routers[2].state == STANDBY
+
+
+def test_only_one_active_at_any_time():
+    sim, lan, hosts, routers = build()
+    for _ in range(60):
+        sim.run_for(1.0)
+        active = [r for r in routers if r.alive and r.state == ACTIVE]
+        assert len(active) <= 1
+
+
+def test_higher_priority_active_wins_collision():
+    sim, lan, hosts, routers = build()
+    sim.run_for(30.0)
+    # Force a lower-priority router into ACTIVE to simulate a collision.
+    routers[2]._become_active()
+    sim.run_for(10.0)
+    actives = [r for r in routers if r.state == ACTIVE]
+    assert actives == [routers[0]]
+    assert not hosts[2].owns_ip(VIP)
+
+
+def test_default_timers_match_paper():
+    sim, lan, hosts, routers = build()
+    assert routers[0].hello_interval == 3.0
+    assert routers[0].hold_time == 10.0

@@ -1,0 +1,116 @@
+"""Unit tests for the VRRP baseline."""
+
+import pytest
+
+from repro.baselines.vrrp import BACKUP, MASTER, VrrpRouter
+from repro.net.fault import FaultInjector
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+VIP = "10.0.0.100"
+
+
+def build(priorities=(110, 100, 90)):
+    sim = Simulation(seed=1)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    hosts, routers = [], []
+    for index, priority in enumerate(priorities):
+        host = Host(sim, "r{}".format(index + 1))
+        host.add_nic(lan, "10.0.0.{}".format(1 + index))
+        router = VrrpRouter(host, lan, VIP, priority)
+        router.start()
+        hosts.append(host)
+        routers.append(router)
+    return sim, lan, hosts, routers
+
+
+def master_of(routers):
+    masters = [r for r in routers if r.state == MASTER and r.alive]
+    assert len(masters) == 1, masters
+    return masters[0]
+
+
+def test_highest_priority_becomes_master():
+    sim, lan, hosts, routers = build()
+    sim.run_for(10.0)
+    assert master_of(routers) is routers[0]
+    assert hosts[0].owns_ip(VIP)
+
+
+def test_backups_do_not_bind_vip():
+    sim, lan, hosts, routers = build()
+    sim.run_for(10.0)
+    assert not hosts[1].owns_ip(VIP)
+    assert not hosts[2].owns_ip(VIP)
+
+
+def test_failover_within_master_down_interval():
+    sim, lan, hosts, routers = build()
+    sim.run_for(10.0)
+    fault_time = sim.now
+    FaultInjector(sim).crash_host(hosts[0])
+    sim.run_for(10.0)
+    new_master = master_of(routers[1:])
+    assert new_master is routers[1]
+    takeover = new_master.transitions[-1][0]
+    assert takeover - fault_time <= routers[1].master_down_interval + 0.1
+
+
+def test_master_down_interval_formula():
+    sim, lan, hosts, routers = build()
+    router = routers[1]  # priority 100
+    assert router.skew_time == pytest.approx((256 - 100) / 256.0)
+    assert router.master_down_interval == pytest.approx(3.0 + router.skew_time)
+
+
+def test_graceful_shutdown_hands_off_in_skew_time():
+    sim, lan, hosts, routers = build()
+    sim.run_for(10.0)
+    handoff_start = sim.now
+    routers[0].shutdown()
+    sim.run_for(5.0)
+    new_master = master_of(routers[1:])
+    takeover = new_master.transitions[-1][0]
+    assert takeover - handoff_start <= routers[1].skew_time + 0.1
+
+
+def test_preemption_on_recovery():
+    sim, lan, hosts, routers = build()
+    sim.run_for(10.0)
+    FaultInjector(sim).crash_host(hosts[0])
+    sim.run_for(10.0)
+    # The old master returns with higher priority and preempts.
+    FaultInjector(sim).recover_host(hosts[0])
+    revived = VrrpRouter(hosts[0], lan, VIP, 110)
+    revived.start()
+    sim.run_for(10.0)
+    masters = [r for r in routers[1:] + [revived] if r.state == MASTER and r.alive]
+    assert masters == [revived]
+
+
+def test_vip_moves_with_mastership():
+    sim, lan, hosts, routers = build()
+    sim.run_for(10.0)
+    FaultInjector(sim).crash_host(hosts[0])
+    sim.run_for(10.0)
+    assert hosts[1].owns_ip(VIP)
+    assert not hosts[2].owns_ip(VIP)
+
+
+def test_priority_range_validated():
+    sim = Simulation(seed=0)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    host = Host(sim, "r")
+    host.add_nic(lan, "10.0.0.1")
+    with pytest.raises(ValueError):
+        VrrpRouter(host, lan, VIP, 0)
+    with pytest.raises(ValueError):
+        VrrpRouter(host, lan, VIP, 255)
+
+
+def test_single_router_claims_vip_alone():
+    sim, lan, hosts, routers = build(priorities=(100,))
+    sim.run_for(10.0)
+    assert routers[0].state == MASTER
+    assert hosts[0].owns_ip(VIP)

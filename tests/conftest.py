@@ -1,0 +1,18 @@
+"""Pytest fixtures (cluster-building helpers live in tests/helpers.py)."""
+
+import pytest
+
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+
+@pytest.fixture
+def sim():
+    """A fresh deterministic simulation."""
+    return Simulation(seed=0)
+
+
+@pytest.fixture
+def lan(sim):
+    """A default LAN segment on the fixture simulation."""
+    return Lan(sim, "lan0", "10.0.0.0/24")

@@ -1,0 +1,79 @@
+"""Unit tests for the coverage auditor itself (it must catch bugs)."""
+
+from helpers import build_wack_cluster, settle_wack
+
+
+def test_clean_cluster_has_no_violations():
+    cluster = build_wack_cluster(3)
+    assert settle_wack(cluster)
+    assert cluster.auditor.check() == []
+
+
+def test_detects_artificial_duplicate_coverage():
+    cluster = build_wack_cluster(3, n_vips=3)
+    assert settle_wack(cluster)
+    # Bind a VIP on a second host behind the protocol's back.
+    vip = cluster.wconfig.slot_ids()[0]
+    holders = [w for w in cluster.wacks if w.iface.owns(vip)]
+    other = next(w for w in cluster.wacks if w not in holders)
+    other.host.nics[0].bind_ip(vip)
+    violations = cluster.auditor.check()
+    assert any(v.kind == "duplicate" and v.slot == vip for v in violations)
+
+
+def test_detects_artificial_hole():
+    cluster = build_wack_cluster(3, n_vips=3)
+    assert settle_wack(cluster)
+    vip = cluster.wconfig.slot_ids()[0]
+    holder = next(w for w in cluster.wacks if w.iface.owns(vip))
+    holder.host.nics[0].unbind_ip(vip)
+    violations = cluster.auditor.check()
+    assert any(v.kind == "uncovered" and v.slot == vip for v in violations)
+
+
+def test_components_follow_partitions():
+    cluster = build_wack_cluster(4)
+    assert settle_wack(cluster)
+    assert len(cluster.auditor.components()) == 1
+    cluster.faults.partition(cluster.lan, [cluster.hosts[:1], cluster.hosts[1:]])
+    components = sorted(len(c) for c in cluster.auditor.components())
+    assert components == [1, 3]
+
+
+def test_dead_daemons_excluded_from_components():
+    cluster = build_wack_cluster(3)
+    assert settle_wack(cluster)
+    cluster.faults.crash_host(cluster.hosts[0])
+    assert sorted(len(c) for c in cluster.auditor.components()) == [2]
+
+
+def test_assert_ok_raises_with_details():
+    import pytest
+
+    cluster = build_wack_cluster(2, n_vips=2)
+    assert settle_wack(cluster)
+    vip = cluster.wconfig.slot_ids()[0]
+    holder = next(w for w in cluster.wacks if w.iface.owns(vip))
+    holder.host.nics[0].unbind_ip(vip)
+    with pytest.raises(AssertionError):
+        cluster.auditor.assert_ok()
+
+
+def test_duplicate_coverage_helper():
+    cluster = build_wack_cluster(2, n_vips=2)
+    assert settle_wack(cluster)
+    vip = cluster.wconfig.slot_ids()[0]
+    for wack in cluster.wacks:
+        wack.host.nics[0].bind_ip(vip)
+    duplicates = cluster.auditor.duplicate_coverage()
+    assert vip in duplicates
+    assert len(duplicates[vip]) == 2
+
+
+def test_gathering_components_not_audited():
+    cluster = build_wack_cluster(3)
+    assert settle_wack(cluster)
+    # Freeze one daemon in GATHER artificially; auditor must skip the
+    # component rather than report spurious violations.
+    cluster.wacks[0].machine.fire("VIEW_CHANGE")
+    assert cluster.auditor.check() == []

@@ -1,0 +1,76 @@
+"""Unit tests for the Balance_IPs computation."""
+
+from repro.core.balance import compute_balanced_allocation
+
+
+def test_balances_skewed_allocation():
+    slots = ["v{}".format(i) for i in range(6)]
+    current = {slot: "a" for slot in slots}
+    allocation = compute_balanced_allocation(["a", "b", "c"], slots, current)
+    counts = {m: sum(1 for o in allocation.values() if o == m) for m in "abc"}
+    assert set(counts.values()) == {2}
+
+
+def test_balanced_input_unchanged():
+    slots = ["v1", "v2", "v3", "v4"]
+    current = {"v1": "a", "v2": "a", "v3": "b", "v4": "b"}
+    allocation = compute_balanced_allocation(["a", "b"], slots, current)
+    assert allocation == current
+
+
+def test_moves_minimum_number_of_slots():
+    slots = ["v1", "v2", "v3", "v4"]
+    current = {"v1": "a", "v2": "a", "v3": "a", "v4": "b"}
+    allocation = compute_balanced_allocation(["a", "b"], slots, current)
+    moved = [slot for slot in slots if allocation[slot] != current[slot]]
+    assert len(moved) == 1
+
+
+def test_imbalance_of_one_is_tolerated():
+    slots = ["v1", "v2", "v3"]
+    current = {"v1": "a", "v2": "a", "v3": "b"}
+    allocation = compute_balanced_allocation(["a", "b"], slots, current)
+    assert allocation == current
+
+
+def test_preferences_pull_slots_to_preferring_member():
+    slots = ["v1", "v2"]
+    current = {"v1": "a", "v2": "a"}
+    allocation = compute_balanced_allocation(
+        ["a", "b"], slots, current, {"b": ("v1",)}
+    )
+    assert allocation["v1"] == "b"
+
+
+def test_preferred_slots_not_moved_by_levelling():
+    slots = ["v1", "v2", "v3"]
+    current = {"v1": "a", "v2": "a", "v3": "a"}
+    allocation = compute_balanced_allocation(
+        ["a", "b"], slots, current, {"a": ("v1", "v2", "v3")}
+    )
+    # All three are pinned by preference; levelling cannot move them.
+    assert allocation == current
+
+
+def test_unassigned_slots_get_owners():
+    slots = ["v1", "v2"]
+    allocation = compute_balanced_allocation(["a", "b"], slots, {})
+    assert None not in allocation.values()
+
+
+def test_owner_outside_membership_is_replaced():
+    slots = ["v1"]
+    allocation = compute_balanced_allocation(["a"], slots, {"v1": "ghost"})
+    assert allocation["v1"] == "a"
+
+
+def test_empty_membership_returns_current():
+    assert compute_balanced_allocation([], ["v1"], {"v1": "x"}) == {"v1": "x"}
+
+
+def test_deterministic():
+    slots = ["v{}".format(i) for i in range(9)]
+    current = {slot: "a" for slot in slots}
+    first = compute_balanced_allocation(["a", "b", "c", "d"], slots, current)
+    second = compute_balanced_allocation(["a", "b", "c", "d"], slots, current)
+    assert first == second

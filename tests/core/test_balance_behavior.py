@@ -1,0 +1,76 @@
+"""Integration tests for the BALANCE procedure (Algorithm 3, §3.4)."""
+
+from helpers import build_wack_cluster, settle_wack
+
+from repro.core.state import RUN
+
+
+def test_rebalance_after_merge_evens_allocation():
+    cluster = build_wack_cluster(4, n_vips=8, wack_overrides={"balance_timeout": 0.5})
+    assert settle_wack(cluster)
+    cluster.faults.crash_host(cluster.hosts[3])
+    assert settle_wack(cluster)
+    # After the crash reallocation may be uneven; balance evens it out.
+    cluster.sim.run_for(2.0)
+    counts = sorted(len(w.iface.owned_slots()) for w in cluster.wacks[:3])
+    assert max(counts) - min(counts) <= 1
+    assert cluster.auditor.check() == []
+
+
+def test_only_representative_sends_balance():
+    cluster = build_wack_cluster(3, n_vips=9, wack_overrides={"balance_timeout": 0.3})
+    assert settle_wack(cluster)
+    cluster.sim.run_for(2.0)
+    senders = [w for w in cluster.wacks if w.balances_sent > 0]
+    for wack in senders:
+        assert wack.member_name == wack.view.members[0]
+
+
+def test_balance_is_noop_when_already_even():
+    cluster = build_wack_cluster(3, n_vips=6, wack_overrides={"balance_timeout": 0.3})
+    assert settle_wack(cluster)
+    applied_before = sum(w.balances_applied for w in cluster.wacks)
+    cluster.sim.run_for(3.0)
+    # Boot allocation is already even; no BALANCE_MSG should be needed.
+    assert sum(w.balances_applied for w in cluster.wacks) == applied_before
+    assert cluster.auditor.check() == []
+
+
+def test_balance_disabled_keeps_uneven_allocation():
+    cluster = build_wack_cluster(
+        3, n_vips=6, wack_overrides={"balance_enabled": False}
+    )
+    assert settle_wack(cluster)
+    cluster.faults.crash_host(cluster.hosts[0])
+    assert settle_wack(cluster)
+    cluster.sim.run_for(3.0)
+    assert all(w.balances_sent == 0 for w in cluster.wacks)
+
+
+def test_balance_respects_preferences():
+    cluster = build_wack_cluster(
+        2,
+        n_vips=4,
+        wack_overrides={"balance_timeout": 0.3},
+    )
+    # node1 prefers the first two vips.
+    prefer = tuple(cluster.wconfig.slot_ids()[:2])
+    cluster.wacks[1].config = cluster.wacks[1].config.copy_for(prefer=prefer)
+    assert settle_wack(cluster)
+    cluster.sim.run_for(3.0)
+    for slot in prefer:
+        assert cluster.wacks[1].iface.owns(slot)
+    assert cluster.auditor.check() == []
+
+
+def test_coverage_invariant_holds_through_balance_moves():
+    cluster = build_wack_cluster(4, n_vips=10, wack_overrides={"balance_timeout": 0.2})
+    assert settle_wack(cluster)
+    cluster.faults.crash_host(cluster.hosts[3])
+    assert settle_wack(cluster)
+    # Sample the invariant repeatedly while balance rounds run.
+    for _ in range(20):
+        cluster.sim.run_for(0.25)
+        live = [w for w in cluster.wacks if w.alive]
+        if all(w.machine.state == RUN for w in live):
+            assert cluster.auditor.check() == []

@@ -1,0 +1,175 @@
+"""Tests for the wackamole.conf-style configuration parser."""
+
+import pytest
+
+from repro.core.conffile import ConfigError, parse_wackamole_conf
+
+FULL_EXAMPLE = """
+# A classic web-cluster configuration.
+Spread = 4804
+Group = wack1
+Control = /var/run/wack.it
+Mature = 7s
+Arp-Cache = 90s
+Balance {
+    AcquisitionsPerRound = all
+    Interval = 4s
+}
+Prefer 192.168.0.100
+VirtualInterfaces {
+    { eth0:192.168.0.100/32 }
+    { eth0:192.168.0.101/32 }
+}
+Notify {
+    eth0:192.168.0.1/32
+}
+"""
+
+
+def test_full_example_parses():
+    parsed = parse_wackamole_conf(FULL_EXAMPLE)
+    assert parsed.spread_port == 4804
+    assert parsed.group_name == "wack1"
+    config = parsed.wackamole
+    assert config.group_name == "wack1"
+    assert config.maturity_timeout == 7.0
+    assert config.balance_enabled
+    assert config.balance_timeout == 4.0
+    assert config.slot_ids() == ("192.168.0.100", "192.168.0.101")
+    assert config.prefer == ("192.168.0.100",)
+    assert [str(ip) for ip in config.notify_ips] == ["192.168.0.1"]
+    assert config.arp_share_interval == 0.0
+
+
+def test_defaults_when_sections_omitted():
+    parsed = parse_wackamole_conf("VirtualInterfaces { { 10.0.0.1/32 } }")
+    assert parsed.spread_port == 4803
+    assert parsed.group_name == "wackamole"
+    assert not parsed.wackamole.balance_enabled
+
+
+def test_multi_address_group_is_indivisible():
+    parsed = parse_wackamole_conf(
+        """
+        VirtualInterfaces {
+            { eth0:10.0.0.1/32 eth1:192.168.0.1/32 }
+        }
+        """
+    )
+    groups = parsed.wackamole.vip_groups
+    assert len(groups) == 1
+    assert len(groups[0].addresses) == 2
+    assert groups[0].group_id == "10.0.0.1+192.168.0.1"
+
+
+def test_prefer_resolves_to_containing_group():
+    parsed = parse_wackamole_conf(
+        """
+        Prefer 192.168.0.1
+        VirtualInterfaces {
+            { eth0:10.0.0.1/32 eth1:192.168.0.1/32 }
+        }
+        """
+    )
+    assert parsed.wackamole.prefer == ("10.0.0.1+192.168.0.1",)
+
+
+def test_prefer_none_is_accepted():
+    parsed = parse_wackamole_conf(
+        "Prefer None\nVirtualInterfaces { { 10.0.0.1/32 } }"
+    )
+    assert parsed.wackamole.prefer == ()
+
+
+def test_notify_arp_cache_enables_sharing():
+    parsed = parse_wackamole_conf(
+        """
+        VirtualInterfaces { { 10.0.0.1/32 } }
+        Notify {
+            eth0:10.0.0.254/32
+            arp-cache
+        }
+        """
+    )
+    assert parsed.wackamole.arp_share_interval > 0
+    assert [str(ip) for ip in parsed.wackamole.notify_ips] == ["10.0.0.254"]
+
+
+def test_seconds_suffix_optional():
+    parsed = parse_wackamole_conf(
+        "Mature = 3\nVirtualInterfaces { { 10.0.0.1/32 } }"
+    )
+    assert parsed.wackamole.maturity_timeout == 3.0
+
+
+def test_comments_ignored():
+    parsed = parse_wackamole_conf(
+        """
+        # leading comment
+        Mature = 2s  # trailing comment
+        VirtualInterfaces { { 10.0.0.1/32 } }  # and here
+        """
+    )
+    assert parsed.wackamole.maturity_timeout == 2.0
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",  # no VirtualInterfaces
+        "VirtualInterfaces { }",  # no groups
+        "VirtualInterfaces { { } }",  # empty group
+        "Mature 5\nVirtualInterfaces { { 10.0.0.1/32 } }",  # missing '='
+        "Prefer\nVirtualInterfaces { { 10.0.0.1/32 } }",  # dangling Prefer
+        "Prefer 9.9.9.9\nVirtualInterfaces { { 10.0.0.1/32 } }",  # unknown
+        "Bogus = 1\nVirtualInterfaces { { 10.0.0.1/32 } }",  # unknown key
+        "Mature = soon\nVirtualInterfaces { { 10.0.0.1/32 } }",  # bad value
+        "Balance { Bogus = 1 }\nVirtualInterfaces { { 10.0.0.1/32 } }",
+    ],
+)
+def test_malformed_configs_rejected(bad):
+    with pytest.raises(ConfigError):
+        parse_wackamole_conf(bad)
+
+
+def test_parsed_config_drives_a_real_cluster():
+    """End to end: a conf file, a cluster, a fail-over."""
+    from helpers import settle_wack, build_wack_cluster
+
+    parsed = parse_wackamole_conf(
+        """
+        Group = wack1
+        Mature = 0.5s
+        Balance { Interval = 1s }
+        VirtualInterfaces {
+            { eth0:10.0.0.100/32 }
+            { eth0:10.0.0.101/32 }
+            { eth0:10.0.0.102/32 }
+        }
+        """
+    )
+    cluster = build_wack_cluster(2, n_vips=1)  # placeholder config below
+    # Rebuild daemons with the parsed config.
+    from repro.core.daemon import WackamoleDaemon
+
+    for wack in cluster.wacks:
+        wack.stop()
+    replacements = [
+        WackamoleDaemon(host, spread, parsed.wackamole)
+        for host, spread in zip(cluster.hosts, cluster.spreads)
+    ]
+    cluster.wacks[:] = replacements
+    cluster.auditor.daemons[:] = replacements
+    for wack in cluster.wacks:
+        cluster.sim.after(0.01, wack.start)
+    assert settle_wack(cluster)
+    covered = [
+        [w.host.name for w in cluster.wacks if w.iface.owns(slot)]
+        for slot in parsed.wackamole.slot_ids()
+    ]
+    assert all(len(owners) == 1 for owners in covered)
+
+
+def test_repr():
+    parsed = parse_wackamole_conf("VirtualInterfaces { { 10.0.0.1/32 } }")
+    assert "1 vip groups" in repr(parsed)

@@ -1,0 +1,63 @@
+"""Unit tests for Wackamole configuration."""
+
+import pytest
+
+from repro.core.config import VipGroup, WackamoleConfig
+from repro.net.addresses import IPAddress
+
+
+def test_for_vips_builds_single_address_groups():
+    config = WackamoleConfig.for_vips(["10.0.0.1", "10.0.0.2"])
+    assert config.slot_ids() == ("10.0.0.1", "10.0.0.2")
+    assert config.group("10.0.0.1").addresses == (IPAddress("10.0.0.1"),)
+
+
+def test_vip_group_holds_multiple_addresses():
+    group = VipGroup("router", ["10.0.0.1", "192.168.0.1"])
+    assert len(group.addresses) == 2
+
+
+def test_empty_vip_group_rejected():
+    with pytest.raises(ValueError):
+        VipGroup("empty", [])
+
+
+def test_duplicate_group_ids_rejected():
+    with pytest.raises(ValueError):
+        WackamoleConfig([VipGroup("x", ["10.0.0.1"]), VipGroup("x", ["10.0.0.2"])])
+
+
+def test_unknown_preference_rejected():
+    with pytest.raises(ValueError):
+        WackamoleConfig.for_vips(["10.0.0.1"], prefer=("10.0.0.9",))
+
+
+def test_known_preference_accepted():
+    config = WackamoleConfig.for_vips(["10.0.0.1"], prefer=("10.0.0.1",))
+    assert config.prefer == ("10.0.0.1",)
+
+
+def test_unknown_group_lookup_raises():
+    config = WackamoleConfig.for_vips(["10.0.0.1"])
+    with pytest.raises(KeyError):
+        config.group("nope")
+
+
+def test_copy_for_overrides_selected_fields():
+    config = WackamoleConfig.for_vips(["10.0.0.1"], balance_timeout=10.0)
+    clone = config.copy_for(balance_timeout=99.0)
+    assert clone.balance_timeout == 99.0
+    assert clone.vip_groups == config.vip_groups
+    assert config.balance_timeout == 10.0
+
+
+def test_vip_group_equality_and_hash():
+    a = VipGroup("g", ["10.0.0.1"])
+    b = VipGroup("g", ["10.0.0.1"])
+    assert a == b
+    assert len({a, b}) == 1
+
+
+def test_notify_ips_parsed():
+    config = WackamoleConfig.for_vips(["10.0.0.1"], notify_ips=("10.0.0.254",))
+    assert config.notify_ips == (IPAddress("10.0.0.254"),)

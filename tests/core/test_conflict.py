@@ -1,0 +1,53 @@
+"""Unit tests for ResolveConflicts' deterministic drop rule."""
+
+from repro.core.conflict import resolve_claim
+from repro.core.table import AllocationTable
+
+
+def make_table():
+    return AllocationTable(["vip"], members=["a", "b", "c"])
+
+
+def test_first_claim_accepted():
+    table = make_table()
+    winner, loser = resolve_claim(table, "vip", "b")
+    assert (winner, loser) == ("b", None)
+    assert table.owner("vip") == "b"
+
+
+def test_reclaim_by_same_owner_is_noop():
+    table = make_table()
+    resolve_claim(table, "vip", "b")
+    winner, loser = resolve_claim(table, "vip", "b")
+    assert (winner, loser) == ("b", None)
+
+
+def test_later_member_wins_conflict():
+    """The paper's rule: the earlier member in the uniquely ordered
+    membership list releases the address (proof of Lemma 1)."""
+    table = make_table()
+    resolve_claim(table, "vip", "a")
+    winner, loser = resolve_claim(table, "vip", "c")
+    assert winner == "c"
+    assert loser == "a"
+    assert table.owner("vip") == "c"
+
+
+def test_earlier_claimant_loses_even_when_claiming_second():
+    table = make_table()
+    resolve_claim(table, "vip", "c")
+    winner, loser = resolve_claim(table, "vip", "a")
+    assert winner == "c"
+    assert loser == "a"
+    assert table.owner("vip") == "c"
+
+
+def test_resolution_is_arrival_order_independent():
+    """Whatever order claims arrive in, the final owner is the same."""
+    import itertools
+
+    for order in itertools.permutations(["a", "b", "c"]):
+        table = make_table()
+        for claimant in order:
+            resolve_claim(table, "vip", claimant)
+        assert table.owner("vip") == "c", "order {} diverged".format(order)

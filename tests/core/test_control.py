@@ -1,0 +1,166 @@
+"""Unit tests for the administrative control channel (§4.2)."""
+
+from helpers import build_wack_cluster, settle_wack
+
+from repro.core.control import AdminControl
+
+
+def test_status_reports_cluster_view():
+    cluster = build_wack_cluster(2)
+    assert settle_wack(cluster)
+    admin = AdminControl(cluster.wacks[0])
+    status = admin.status()
+    assert status["state"] == "RUN"
+    assert len(status["members"]) == 2
+
+
+def test_list_vips_shows_configured_addresses():
+    cluster = build_wack_cluster(2, n_vips=3)
+    assert settle_wack(cluster)
+    admin = AdminControl(cluster.wacks[0])
+    vips = admin.list_vips()
+    assert len(vips) == 3
+    for slot, addresses in vips.items():
+        assert addresses == [slot]  # single-address groups named by IP
+
+
+def test_release_vip_drops_local_binding():
+    cluster = build_wack_cluster(2, n_vips=4)
+    assert settle_wack(cluster)
+    wack = cluster.wacks[0]
+    admin = AdminControl(wack)
+    slot = wack.iface.owned_slots()[0]
+    admin.release_vip(slot)
+    assert not wack.iface.owns(slot)
+    assert wack.table.owner(slot) is None
+
+
+def test_released_vip_recovered_by_balance():
+    cluster = build_wack_cluster(2, n_vips=4, wack_overrides={"balance_timeout": 0.3})
+    assert settle_wack(cluster)
+    wack = cluster.wacks[0]
+    slot = wack.iface.owned_slots()[0]
+    AdminControl(wack).release_vip(slot)
+    cluster.sim.run_for(2.0)
+    owners = [w for w in cluster.wacks if w.iface.owns(slot)]
+    assert len(owners) == 1
+
+
+def test_set_preferences_validates_and_applies():
+    cluster = build_wack_cluster(2, n_vips=4)
+    assert settle_wack(cluster)
+    admin = AdminControl(cluster.wacks[0])
+    slot = cluster.wconfig.slot_ids()[0]
+    admin.set_preferences([slot])
+    assert cluster.wacks[0].config.prefer == (slot,)
+
+
+def test_admin_shutdown_is_graceful():
+    cluster = build_wack_cluster(3, n_vips=6)
+    assert settle_wack(cluster)
+    AdminControl(cluster.wacks[0]).shutdown()
+    cluster.sim.run_for(0.2)
+    assert cluster.wacks[0].iface.owned_slots() == ()
+    assert settle_wack(cluster)
+    assert cluster.auditor.check() == []
+
+
+def test_admin_kill_leaves_bindings_for_takeover():
+    cluster = build_wack_cluster(3, n_vips=6)
+    assert settle_wack(cluster)
+    wack = cluster.wacks[0]
+    owned = wack.iface.owned_slots()
+    AdminControl(wack).kill()
+    # Abrupt: bindings still on the NIC (until GCS notices via the
+    # client disconnection and the survivors take over).
+    assert wack.iface.owned_slots() == owned
+
+
+# ----------------------------------------------------------------------
+# the line-oriented console (§4.2's input channel)
+
+from repro.core.control import AdminConsole
+
+
+def console_cluster():
+    cluster = build_wack_cluster(2, n_vips=3)
+    assert settle_wack(cluster)
+    return cluster, AdminConsole(cluster.wacks[0])
+
+
+def test_console_status_line():
+    cluster, console = console_cluster()
+    line = console.execute("status")
+    assert "state=RUN" in line
+    assert "mature=True" in line
+    assert "members=2" in line
+
+
+def test_console_table_lists_every_slot():
+    cluster, console = console_cluster()
+    output = console.execute("table")
+    for slot in cluster.wconfig.slot_ids():
+        assert slot in output
+
+
+def test_console_vips_and_owned():
+    cluster, console = console_cluster()
+    vips = console.execute("vips")
+    assert all(slot in vips for slot in cluster.wconfig.slot_ids())
+    owned = console.execute("owned")
+    assert owned == ",".join(cluster.wacks[0].iface.owned_slots()) or owned == "-"
+
+
+def test_console_release_known_slot():
+    cluster, console = console_cluster()
+    slot = cluster.wacks[0].iface.owned_slots()[0]
+    response = console.execute("release {}".format(slot))
+    assert response == "released {}".format(slot)
+    assert not cluster.wacks[0].iface.owns(slot)
+
+
+def test_console_release_unknown_slot_is_error():
+    cluster, console = console_cluster()
+    assert console.execute("release nope").startswith("error:")
+
+
+def test_console_release_usage():
+    cluster, console = console_cluster()
+    assert console.execute("release").startswith("usage:")
+
+
+def test_console_prefer_updates_config():
+    cluster, console = console_cluster()
+    slot = cluster.wconfig.slot_ids()[0]
+    response = console.execute("prefer {}".format(slot))
+    assert slot in response
+    assert cluster.wacks[0].config.prefer == (slot,)
+
+
+def test_console_prefer_unknown_slot_is_error():
+    cluster, console = console_cluster()
+    assert console.execute("prefer bogus").startswith("error:")
+
+
+def test_console_unknown_command():
+    cluster, console = console_cluster()
+    assert "unknown command" in console.execute("frobnicate")
+
+
+def test_console_empty_line():
+    cluster, console = console_cluster()
+    assert console.execute("   ") == ""
+
+
+def test_console_help_lists_commands():
+    cluster, console = console_cluster()
+    text = console.execute("help")
+    for command in ("status", "table", "release", "prefer", "shutdown"):
+        assert command in text
+
+
+def test_console_shutdown_is_graceful():
+    cluster, console = console_cluster()
+    assert console.execute("shutdown") == "shutting down"
+    cluster.sim.run_for(0.2)
+    assert cluster.wacks[0].iface.owned_slots() == ()

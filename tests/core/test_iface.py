@@ -1,0 +1,97 @@
+"""Unit tests for the interface manager (IP address control)."""
+
+import pytest
+
+from repro.core.config import VipGroup, WackamoleConfig
+from repro.core.iface import InterfaceError, InterfaceManager
+from repro.core.notify import ArpNotifier
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+
+def build(vip_groups=None, multi_lan=False):
+    sim = Simulation(seed=0)
+    lan_a = Lan(sim, "a", "10.0.0.0/24")
+    host = Host(sim, "h")
+    host.add_nic(lan_a, "10.0.0.1")
+    if multi_lan:
+        lan_b = Lan(sim, "b", "192.168.0.0/24")
+        host.add_nic(lan_b, "192.168.0.1")
+    groups = vip_groups or [VipGroup("v1", ["10.0.0.100"])]
+    config = WackamoleConfig(groups)
+    notifier = ArpNotifier(host, config)
+    return sim, host, InterfaceManager(host, config, notifier)
+
+
+def test_acquire_binds_address():
+    sim, host, iface = build()
+    iface.acquire("v1")
+    assert host.owns_ip("10.0.0.100")
+    assert iface.owns("v1")
+    assert iface.owned_slots() == ("v1",)
+
+
+def test_acquire_is_idempotent():
+    sim, host, iface = build()
+    iface.acquire("v1")
+    iface.acquire("v1")
+    assert iface.acquisitions == 1
+
+
+def test_release_unbinds():
+    sim, host, iface = build()
+    iface.acquire("v1")
+    iface.release("v1")
+    assert not host.owns_ip("10.0.0.100")
+    assert not iface.owns("v1")
+
+
+def test_release_unowned_is_noop():
+    sim, host, iface = build()
+    iface.release("v1")
+    assert iface.releases == 0
+
+
+def test_acquire_announces_via_arp():
+    sim, host, iface = build()
+    iface.acquire("v1")
+    assert host.arp.spoofs_sent >= 1
+
+
+def test_multi_address_group_binds_on_matching_nics():
+    groups = [VipGroup("router", ["10.0.0.100", "192.168.0.100"])]
+    sim, host, iface = build(groups, multi_lan=True)
+    iface.acquire("router")
+    assert host.owns_ip("10.0.0.100")
+    assert host.owns_ip("192.168.0.100")
+    iface.release("router")
+    assert not host.owns_ip("10.0.0.100")
+    assert not host.owns_ip("192.168.0.100")
+
+
+def test_unmatchable_address_raises_before_any_binding():
+    groups = [VipGroup("bad", ["10.0.0.100", "172.16.0.1"])]
+    sim, host, iface = build(groups)
+    with pytest.raises(InterfaceError):
+        iface.acquire("bad")
+    # All-or-nothing: the matching address was not bound either.
+    assert not host.owns_ip("10.0.0.100")
+
+
+def test_release_all():
+    groups = [VipGroup("v1", ["10.0.0.100"]), VipGroup("v2", ["10.0.0.101"])]
+    sim, host, iface = build(groups)
+    iface.acquire("v1")
+    iface.acquire("v2")
+    iface.release_all()
+    assert iface.owned_slots() == ()
+    assert not host.owns_ip("10.0.0.100")
+
+
+def test_owned_slots_in_config_order():
+    groups = [VipGroup("b", ["10.0.0.101"]), VipGroup("a", ["10.0.0.100"])]
+    sim, host, iface = build(groups)
+    iface.acquire("a")
+    iface.acquire("b")
+    assert iface.owned_slots() == ("b", "a")

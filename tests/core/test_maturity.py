@@ -1,0 +1,80 @@
+"""Integration tests for the maturity bootstrap optimisation (§3.4)."""
+
+from helpers import build_wack_cluster, settle_wack
+
+from repro.core.state import RUN
+
+
+def test_fresh_cluster_starts_immature_and_covers_nothing():
+    cluster = build_wack_cluster(3, wack_overrides={"maturity_timeout": 5.0})
+    # Before any maturity timeout fires: RUN but no coverage.
+    cluster.sim.run_for(3.0)
+    assert all(not w.mature for w in cluster.wacks)
+    assert all(w.iface.owned_slots() == () for w in cluster.wacks)
+    # The auditor deliberately skips all-immature components.
+    assert cluster.auditor.check() == []
+
+
+def test_maturity_timeout_triggers_cluster_wide_allocation():
+    cluster = build_wack_cluster(3, wack_overrides={"maturity_timeout": 1.0})
+    assert settle_wack(cluster)
+    assert all(w.mature for w in cluster.wacks)
+    assert all(w.table.is_complete() for w in cluster.wacks)
+    assert cluster.auditor.check() == []
+
+
+def test_maturity_spreads_via_state_messages():
+    cluster = build_wack_cluster(2, wack_overrides={"maturity_timeout": 0.5})
+    assert settle_wack(cluster)
+    # A new immature server joins the mature cluster.
+    from repro.core.daemon import WackamoleDaemon
+    from repro.gcs.daemon import SpreadDaemon
+    from repro.net.host import Host
+
+    host = Host(cluster.sim, "node9")
+    host.add_nic(cluster.lan, "10.0.0.99")
+    spread = SpreadDaemon(host, cluster.lan, cluster.config)
+    late_config = cluster.wconfig.copy_for(maturity_timeout=60.0)
+    wack = WackamoleDaemon(host, spread, late_config)
+    spread.start()
+    wack.start()
+    cluster.wacks.append(wack)
+    cluster.hosts.append(host)
+    cluster.auditor.daemons.append(wack)
+    assert settle_wack(cluster)
+    # It matured from a STATE message, far before its own 60s timeout.
+    assert wack.mature
+    mature_record = cluster.sim.trace.last(
+        category="wackamole", source=wack.name, event="mature"
+    )
+    assert "state message" in mature_record.details["reason"]
+
+
+def test_reboot_avoids_vip_churn_until_timeout():
+    """The stated purpose: no quick IP reallocations while booting."""
+    cluster = build_wack_cluster(
+        3, wack_overrides={"maturity_timeout": 2.0}, stagger=0.3
+    )
+    cluster.sim.run_for(1.5)
+    acquisitions = sum(w.iface.acquisitions for w in cluster.wacks)
+    assert acquisitions == 0
+    assert settle_wack(cluster)
+    assert sum(w.iface.acquisitions for w in cluster.wacks) >= len(
+        cluster.wconfig.slot_ids()
+    )
+
+
+def test_exactly_one_allocation_wave_after_joint_maturity():
+    cluster = build_wack_cluster(3, n_vips=6, wack_overrides={"maturity_timeout": 0.5})
+    assert settle_wack(cluster)
+    for vip in cluster.wconfig.slot_ids():
+        owners = [w for w in cluster.wacks if w.iface.owns(vip)]
+        assert len(owners) == 1
+
+
+def test_mature_flag_survives_view_changes():
+    cluster = build_wack_cluster(3, wack_overrides={"maturity_timeout": 0.5})
+    assert settle_wack(cluster)
+    cluster.faults.crash_host(cluster.hosts[2])
+    assert settle_wack(cluster)
+    assert all(w.mature for w in cluster.wacks[:2])

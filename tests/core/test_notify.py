@@ -1,0 +1,97 @@
+"""Unit tests for ARP spoof notification strategies."""
+
+from repro.core.config import WackamoleConfig
+from repro.core.notify import ArpNotifier
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+
+def build(**config_overrides):
+    sim = Simulation(seed=0)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    host = Host(sim, "h")
+    nic = host.add_nic(lan, "10.0.0.1")
+    router = Host(sim, "router")
+    router.add_nic(lan, "10.0.0.254")
+    config = WackamoleConfig.for_vips(["10.0.0.100"], **config_overrides)
+    return sim, lan, host, nic, router, ArpNotifier(host, config)
+
+
+def test_default_strategy_broadcasts():
+    sim, lan, host, nic, router, notifier = build()
+    nic.bind_ip("10.0.0.100")
+    notifier.announce(nic, "10.0.0.100")
+    sim.run_until_idle()
+    # Broadcast reached the router and created/updated its entry.
+    assert router.arp.cache.lookup("10.0.0.100") == nic.mac
+
+
+def test_configured_target_resolved_from_cache_is_unicast():
+    from repro.net.addresses import MACAddress
+
+    sim, lan, host, nic, router, notifier = build(notify_ips=("10.0.0.254",))
+    host.arp.cache.store("10.0.0.254", router.nics[0].mac)
+    bystander = Host(sim, "bystander")
+    bystander.add_nic(lan, "10.0.0.9")
+    stale_mac = MACAddress(0x0DEAD00000001)
+    bystander.arp.cache.store("10.0.0.100", stale_mac)
+    nic.bind_ip("10.0.0.100")
+    notifier.announce(nic, "10.0.0.100")
+    sim.run_until_idle()
+    assert router.arp.cache.lookup("10.0.0.100") == nic.mac
+    # Unicast notification: the bystander's stale entry was not touched.
+    assert bystander.arp.cache.lookup("10.0.0.100") == stale_mac
+    assert host.arp.spoofs_sent == 1
+
+
+def test_unresolved_target_falls_back_to_broadcast():
+    sim, lan, host, nic, router, notifier = build(notify_ips=("10.0.0.254",))
+    nic.bind_ip("10.0.0.100")
+    notifier.announce(nic, "10.0.0.100")
+    sim.run_until_idle()
+    assert router.arp.cache.lookup("10.0.0.100") == nic.mac
+
+
+def test_shared_cache_entries_become_targets():
+    from repro.net.addresses import IPAddress
+
+    sim, lan, host, nic, router, notifier = build(arp_share_interval=1.0)
+    peer_mac = router.nics[0].mac
+    notifier.integrate_share([(IPAddress("10.0.0.254"), peer_mac)], now=0.0)
+    nic.bind_ip("10.0.0.100")
+    notifier.announce(nic, "10.0.0.100")
+    sim.run_until_idle()
+    assert router.arp.cache.lookup("10.0.0.100") == nic.mac
+    assert host.arp.spoofs_sent == 1
+
+
+def test_shared_entries_garbage_collected_after_ttl():
+    sim, lan, host, nic, router, notifier = build(
+        arp_share_interval=1.0, arp_share_ttl=5.0
+    )
+    from repro.net.addresses import IPAddress
+
+    notifier.integrate_share([(IPAddress("10.0.0.254"), router.nics[0].mac)], now=0.0)
+    assert notifier.shared_size() == 1
+    sim.run(until=10.0)
+    nic.bind_ip("10.0.0.100")
+    notifier.announce(nic, "10.0.0.100")
+    assert notifier.shared_size() == 0
+
+
+def test_collect_entries_snapshots_local_cache():
+    sim, lan, host, nic, router, notifier = build()
+    host.arp.cache.store("10.0.0.254", router.nics[0].mac)
+    entries = notifier.collect_entries()
+    assert len(entries) == 1
+    ip, mac = entries[0]
+    assert str(ip) == "10.0.0.254"
+
+
+def test_announcement_counter():
+    sim, lan, host, nic, router, notifier = build()
+    nic.bind_ip("10.0.0.100")
+    notifier.announce(nic, "10.0.0.100")
+    notifier.announce(nic, "10.0.0.100")
+    assert notifier.announcements == 2

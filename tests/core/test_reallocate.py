@@ -1,0 +1,82 @@
+"""Unit tests for the deterministic Reallocate_IPs procedure."""
+
+from repro.core.reallocate import reallocate_ips
+from repro.core.table import AllocationTable
+
+
+def make_table(slots, members):
+    return AllocationTable(slots, members=members)
+
+
+def test_covers_every_hole():
+    table = make_table(["v1", "v2", "v3"], ["a", "b"])
+    reallocate_ips(table)
+    assert table.is_complete()
+
+
+def test_spreads_load_evenly():
+    table = make_table(["v{}".format(i) for i in range(6)], ["a", "b", "c"])
+    reallocate_ips(table)
+    assert set(table.counts().values()) == {2}
+
+
+def test_respects_existing_ownership():
+    table = make_table(["v1", "v2", "v3"], ["a", "b"])
+    table.set_owner("v1", "a")
+    assignments = reallocate_ips(table)
+    assert "v1" not in assignments
+    assert table.owner("v1") == "a"
+
+
+def test_least_loaded_member_gets_holes():
+    table = make_table(["v1", "v2", "v3", "v4"], ["a", "b"])
+    table.set_owner("v1", "a")
+    table.set_owner("v2", "a")
+    table.set_owner("v3", "a")
+    reallocate_ips(table)
+    assert table.owner("v4") == "b"
+
+
+def test_ties_broken_by_membership_order():
+    # The table preserves the uniquely ordered list it is given; ties go
+    # to the earliest position in that list.
+    table = make_table(["v1"], ["b", "a", "c"])
+    reallocate_ips(table)
+    assert table.owner("v1") == "b"
+
+
+def test_preferences_override_load():
+    table = make_table(["v1", "v2"], ["a", "b"])
+    assignments = reallocate_ips(table, {"b": ("v1",)})
+    assert table.owner("v1") == "b"
+
+
+def test_contested_preference_goes_to_least_loaded_preferring_member():
+    table = make_table(["v1", "v2", "v3"], ["a", "b"])
+    table.set_owner("v2", "b")
+    table.set_owner("v3", "b")
+    reallocate_ips(table, {"a": ("v1",), "b": ("v1",)})
+    assert table.owner("v1") == "a"
+
+
+def test_determinism_across_equal_inputs():
+    def run():
+        table = make_table(["v{}".format(i) for i in range(7)], ["n1", "n2", "n3"])
+        table.set_owner("v0", "n2")
+        reallocate_ips(table, {"n3": ("v5",)})
+        return table.as_dict()
+
+    assert run() == run()
+
+
+def test_returns_only_new_assignments():
+    table = make_table(["v1", "v2"], ["a"])
+    table.set_owner("v1", "a")
+    assignments = reallocate_ips(table)
+    assert assignments == {"v2": "a"}
+
+
+def test_single_member_takes_everything():
+    table = make_table(["v1", "v2", "v3"], ["only"])
+    reallocate_ips(table)
+    assert table.counts() == {"only": 3}

@@ -1,0 +1,102 @@
+"""Unit tests for the Figure 2 state machine."""
+
+import pytest
+
+from repro.core.state import (
+    BALANCE,
+    GATHER,
+    RUN,
+    TRANSITIONS,
+    IllegalTransition,
+    StateMachine,
+)
+
+
+def test_initial_state_is_run():
+    assert StateMachine().state == RUN
+
+
+def test_view_change_moves_run_to_gather():
+    machine = StateMachine()
+    assert machine.fire("VIEW_CHANGE") == GATHER
+
+
+def test_cascading_view_change_stays_in_gather():
+    machine = StateMachine()
+    machine.fire("VIEW_CHANGE")
+    assert machine.fire("VIEW_CHANGE") == GATHER
+
+
+def test_reallocation_complete_returns_to_run():
+    machine = StateMachine()
+    machine.fire("VIEW_CHANGE")
+    assert machine.fire("REALLOCATION_COMPLETE") == RUN
+
+
+def test_balance_round_trip():
+    machine = StateMachine()
+    assert machine.fire("BALANCE_TIMEOUT") == BALANCE
+    assert machine.fire("BALANCE_COMPLETE") == RUN
+
+
+def test_balance_msg_keeps_run():
+    machine = StateMachine()
+    assert machine.fire("BALANCE_MSG") == RUN
+
+
+def test_balance_msg_in_gather_is_ignored_transition():
+    machine = StateMachine()
+    machine.fire("VIEW_CHANGE")
+    assert machine.fire("BALANCE_MSG") == GATHER
+
+
+def test_illegal_transitions_rejected():
+    machine = StateMachine()
+    with pytest.raises(IllegalTransition):
+        machine.fire("REALLOCATION_COMPLETE")
+    machine.fire("BALANCE_TIMEOUT")
+    with pytest.raises(IllegalTransition):
+        machine.fire("VIEW_CHANGE")  # BALANCE is atomic (§3.4)
+
+
+def test_balance_timeout_illegal_in_gather():
+    machine = StateMachine()
+    machine.fire("VIEW_CHANGE")
+    with pytest.raises(IllegalTransition):
+        machine.fire("BALANCE_TIMEOUT")
+
+
+def test_can_fire_matches_transition_table():
+    machine = StateMachine()
+    assert machine.can_fire("VIEW_CHANGE")
+    assert not machine.can_fire("BALANCE_COMPLETE")
+
+
+def test_history_records_transitions():
+    machine = StateMachine()
+    machine.fire("VIEW_CHANGE")
+    machine.fire("REALLOCATION_COMPLETE")
+    assert machine.history == [
+        (RUN, "VIEW_CHANGE", GATHER),
+        (GATHER, "REALLOCATION_COMPLETE", RUN),
+    ]
+
+
+def test_trace_callback_invoked():
+    seen = []
+    machine = StateMachine(trace=lambda event, state: seen.append((event, state)))
+    machine.fire("VIEW_CHANGE")
+    assert seen == [("VIEW_CHANGE", GATHER)]
+
+
+def test_transition_set_matches_figure2_exactly():
+    expected = {
+        (RUN, "VIEW_CHANGE", GATHER),
+        (GATHER, "VIEW_CHANGE", GATHER),
+        (GATHER, "REALLOCATION_COMPLETE", RUN),
+        (RUN, "BALANCE_TIMEOUT", BALANCE),
+        (BALANCE, "BALANCE_COMPLETE", RUN),
+        (RUN, "BALANCE_MSG", RUN),
+        (GATHER, "BALANCE_MSG", GATHER),
+    }
+    assert set(TRANSITIONS) == expected

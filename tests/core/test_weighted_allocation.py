@@ -1,0 +1,123 @@
+"""Tests for load-based (weighted) reallocation — §3.4.
+
+"…we can modify the Reallocate_IPs() procedure to perform load-based
+reallocation of IP addresses."
+"""
+
+from helpers import build_wack_cluster, settle_wack
+
+from repro.core.balance import compute_balanced_allocation, weighted_quotas
+from repro.core.reallocate import reallocate_ips
+from repro.core.table import AllocationTable
+
+
+# ----------------------------------------------------------------------
+# pure procedures
+
+
+def test_quotas_proportional_to_weights():
+    quotas = weighted_quotas(["a", "b"], 6, {"a": 2.0, "b": 1.0})
+    assert quotas == {"a": 4, "b": 2}
+
+
+def test_quotas_largest_remainder_is_deterministic():
+    quotas = weighted_quotas(["a", "b", "c"], 4, {"a": 1.0, "b": 1.0, "c": 1.0})
+    assert sum(quotas.values()) == 4
+    assert quotas == weighted_quotas(["a", "b", "c"], 4, {"a": 1.0, "b": 1.0, "c": 1.0})
+    # The extra slot goes to the earliest member on a tie.
+    assert quotas["a"] == 2
+
+
+def test_reallocate_respects_weights():
+    table = AllocationTable(["v{}".format(i) for i in range(6)], members=["a", "b"])
+    reallocate_ips(table, weights={"a": 2.0, "b": 1.0})
+    counts = table.counts()
+    assert counts["a"] == 4
+    assert counts["b"] == 2
+
+
+def test_reallocate_equal_weights_match_unweighted():
+    def run(weights):
+        table = AllocationTable(["v{}".format(i) for i in range(7)], members=["a", "b", "c"])
+        table.set_owner("v0", "b")
+        reallocate_ips(table, weights=weights)
+        return table.as_dict()
+
+    assert run(None) == run({"a": 1.0, "b": 1.0, "c": 1.0})
+
+
+def test_balance_moves_toward_weighted_quotas():
+    slots = ["v{}".format(i) for i in range(6)]
+    current = {slot: "b" for slot in slots}
+    allocation = compute_balanced_allocation(
+        ["a", "b"], slots, current, weights={"a": 2.0, "b": 1.0}
+    )
+    counts = {m: sum(1 for o in allocation.values() if o == m) for m in "ab"}
+    assert counts == {"a": 4, "b": 2}
+
+
+def test_balance_weighted_is_minimal_movement():
+    slots = ["v{}".format(i) for i in range(6)]
+    # Already at quota: nothing should move.
+    current = {"v0": "a", "v1": "a", "v2": "a", "v3": "a", "v4": "b", "v5": "b"}
+    allocation = compute_balanced_allocation(
+        ["a", "b"], slots, current, weights={"a": 2.0, "b": 1.0}
+    )
+    assert allocation == current
+
+
+def test_balance_weighted_respects_preferences():
+    slots = ["v0", "v1", "v2"]
+    current = {slot: "a" for slot in slots}
+    allocation = compute_balanced_allocation(
+        ["a", "b"], slots, current,
+        preferences={"a": ("v0", "v1", "v2")},
+        weights={"a": 1.0, "b": 2.0},
+    )
+    # All pinned by preference: quotas cannot be met by moving them.
+    assert allocation == current
+
+
+def test_balance_equal_weights_use_unweighted_path():
+    slots = ["v0", "v1", "v2", "v3"]
+    current = {"v0": "a", "v1": "a", "v2": "b", "v3": "b"}
+    with_weights = compute_balanced_allocation(
+        ["a", "b"], slots, current, weights={"a": 1.0, "b": 1.0}
+    )
+    without = compute_balanced_allocation(["a", "b"], slots, current)
+    assert with_weights == without
+
+
+# ----------------------------------------------------------------------
+# end to end
+
+
+def test_cluster_allocates_by_weight():
+    cluster = build_wack_cluster(2, n_vips=6, wack_overrides={"balance_timeout": 0.5})
+    # node0 advertises double capacity.
+    cluster.wacks[0].config = cluster.wacks[0].config.copy_for(weight=2.0)
+    assert settle_wack(cluster)
+    cluster.sim.run_for(2.0)  # a balance round under the weighted quota
+    counts = {
+        w.host.name: len(w.iface.owned_slots()) for w in cluster.wacks
+    }
+    assert counts["node0"] == 4
+    assert counts["node1"] == 2
+    assert cluster.auditor.check() == []
+
+
+def test_weight_travels_in_state_messages():
+    cluster = build_wack_cluster(2, n_vips=2)
+    cluster.wacks[1].config = cluster.wacks[1].config.copy_for(weight=3.0)
+    assert settle_wack(cluster)
+    observed = cluster.wacks[0]._weights
+    assert observed[cluster.wacks[1].member_name] == 3.0
+
+
+def test_invalid_weight_rejected():
+    import pytest
+
+    from repro.core.config import WackamoleConfig
+
+    with pytest.raises(ValueError):
+        WackamoleConfig.for_vips(["10.0.0.1"], weight=0.0)

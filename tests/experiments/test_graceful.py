@@ -1,0 +1,22 @@
+"""Tests for the voluntary-leave experiment (§6 text)."""
+
+from repro.experiments.graceful import GracefulLeaveExperiment
+
+
+def test_all_samples_within_paper_bound():
+    experiment = GracefulLeaveExperiment(trials=3, cluster_size=3)
+    results = experiment.run()
+    assert results["samples"]
+    assert results["within_bound"]
+    assert results["max"] <= GracefulLeaveExperiment.UPPER_BOUND
+
+
+def test_typical_sample_is_about_10ms():
+    experiment = GracefulLeaveExperiment(trials=3, cluster_size=3)
+    results = experiment.run()
+    assert results["mean"] <= 0.05
+
+
+def test_format_mentions_bound():
+    experiment = GracefulLeaveExperiment(trials=1, cluster_size=2)
+    assert "0.25" in experiment.format() or "0.250" in experiment.format()

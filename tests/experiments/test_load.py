@@ -1,0 +1,38 @@
+"""Tests for the loaded-machine experiment (reduced sizes)."""
+
+from repro.experiments.load import LoadedClusterExperiment
+
+
+def test_no_spurious_reconfigs_when_unloaded():
+    experiment = LoadedClusterExperiment(
+        load_delays=(0.0,), duration=30.0, trials=1, cluster_size=3
+    )
+    results = experiment.run()
+    assert results["real-time priority"][0.0] == 0
+    assert results["normal priority"][0.0] == 0
+
+
+def test_realtime_priority_immune_to_load():
+    experiment = LoadedClusterExperiment(
+        load_delays=(0.3,), duration=60.0, trials=1, cluster_size=3
+    )
+    count = experiment.count_spurious(realtime=True, load=0.3, seed=7700)
+    assert count == 0
+
+
+def test_normal_priority_misfires_under_heavy_load():
+    experiment = LoadedClusterExperiment(
+        load_delays=(0.3,), duration=60.0, trials=1, cluster_size=3
+    )
+    count = experiment.count_spurious(realtime=False, load=0.3, seed=7700)
+    assert count > 0
+
+
+def test_format_lists_loads_and_priorities():
+    experiment = LoadedClusterExperiment(
+        load_delays=(0.0,), duration=20.0, trials=1, cluster_size=2
+    )
+    text = experiment.format()
+    assert "real-time priority" in text
+    assert "normal priority" in text
+    assert "0 ms" in text

@@ -1,0 +1,60 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from repro.experiments.plotting import render_series
+
+
+def test_single_series_renders_markers_and_axes():
+    chart = render_series({"s": [(0, 0.0), (5, 10.0)]}, width=30, height=8)
+    assert "*" in chart
+    assert "|" in chart
+    assert "+" in chart
+    assert "s" in chart
+
+
+def test_two_series_use_distinct_markers():
+    chart = render_series(
+        {"a": [(0, 1.0), (10, 1.0)], "b": [(0, 5.0), (10, 5.0)]},
+        width=30,
+        height=8,
+    )
+    assert "*" in chart and "o" in chart
+    assert "* a" in chart and "o b" in chart
+
+
+def test_labels_included():
+    chart = render_series(
+        {"a": [(0, 1.0), (1, 2.0)]}, y_label="seconds", x_label="size"
+    )
+    assert chart.splitlines()[0] == "seconds"
+    assert "size" in chart
+
+
+def test_empty_series_handled():
+    assert render_series({}) == "(no data)"
+
+
+def test_constant_series_does_not_divide_by_zero():
+    chart = render_series({"flat": [(1, 3.0), (2, 3.0), (3, 3.0)]})
+    assert "*" in chart
+
+
+def test_single_point():
+    chart = render_series({"dot": [(5, 5.0)]})
+    assert "*" in chart
+
+
+def test_higher_values_render_on_higher_rows():
+    chart = render_series(
+        {"low": [(0, 1.0), (10, 1.0)], "high": [(0, 9.0), (10, 9.0)]},
+        width=20,
+        height=10,
+    )
+    lines = [line for line in chart.splitlines() if "|" in line]
+    high_row = next(i for i, line in enumerate(lines) if "o" in line)
+    low_row = next(i for i, line in enumerate(lines) if "*" in line)
+    assert high_row < low_row
+
+
+def test_segments_drawn_between_points():
+    chart = render_series({"s": [(0, 0.0), (10, 10.0)]}, width=40, height=12)
+    assert "." in chart

@@ -1,0 +1,60 @@
+"""Unit tests for report helpers."""
+
+import pytest
+
+from repro.experiments.report import format_table, mean, stdev
+
+
+def test_mean_of_values():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_mean_of_empty_is_zero():
+    assert mean([]) == 0.0
+
+
+def test_stdev_of_constant_is_zero():
+    assert stdev([5.0, 5.0, 5.0]) == 0.0
+
+
+def test_stdev_known_value():
+    assert stdev([2.0, 4.0]) == pytest.approx(2.0**0.5)
+
+
+def test_stdev_below_two_samples_is_zero():
+    assert stdev([1.0]) == 0.0
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["Name", "Value"], [["a", 1.5], ["longer", 2]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1]
+    assert "-" in lines[2]
+    assert "1.500" in text
+    assert "longer" in text
+
+
+def test_format_table_without_title():
+    text = format_table(["x"], [[1]])
+    assert text.splitlines()[0] == "x"
+
+
+def test_to_csv_full_precision():
+    from repro.experiments.report import to_csv
+
+    text = to_csv(["a", "b"], [[1, 2.123456789], ["x,y", 3]])
+    lines = text.strip().splitlines()
+    assert lines[0] == "a,b"
+    assert "2.123456789" in lines[1]
+    assert '"x,y"' in lines[2]  # quoting preserved
+
+
+def test_series_to_rows_aligns_on_x():
+    from repro.experiments.report import series_to_rows
+
+    headers, rows = series_to_rows(
+        {"s1": [(1, 10.0), (2, 20.0)], "s2": [(2, 5.0), (3, 6.0)]}, x_name="size"
+    )
+    assert headers == ["size", "s1", "s2"]
+    assert rows == [[1, 10.0, None], [2, 20.0, 5.0], [3, None, 6.0]]

@@ -1,0 +1,31 @@
+"""Tests for the Table 1 reproduction."""
+
+from repro.experiments.table1 import Table1Experiment
+
+
+def test_parameter_rows_match_the_paper_literally():
+    rows = Table1Experiment().parameter_rows()
+    assert rows == [
+        ["Fault-detection timeout", 5.0, 1.0],
+        ["Distributed Heartbeat timeout", 2.0, 0.4],
+        ["Discovery timeout", 7.0, 1.4],
+    ]
+
+
+def test_measured_windows_within_derived_ranges():
+    experiment = Table1Experiment(trials=2, cluster_size=3)
+    results = experiment.run()
+    for name, measured in results["measured"].items():
+        lo, hi = measured["derived_window"]
+        assert lo <= measured["min"], name
+        assert measured["max"] <= hi + 0.5, name
+
+
+def test_format_renders_both_tables():
+    experiment = Table1Experiment(trials=1, cluster_size=2)
+    text = experiment.format()
+    assert "Table 1. Spread timeout tuning (seconds)" in text
+    assert "Fault-detection timeout" in text
+    assert "Default Spread" in text
+    assert "Tuned Spread" in text
+    assert "Failure notification time" in text

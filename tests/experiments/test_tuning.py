@@ -1,0 +1,54 @@
+"""Tests for the tuning trade-off experiments (reduced sizes)."""
+
+import pytest
+
+from repro.experiments.tuning import FalsePositiveExperiment, SensitivityExperiment
+
+
+def test_no_false_positives_on_clean_network():
+    experiment = FalsePositiveExperiment(
+        loss_rates=(0.0,), duration=60.0, trials=1, cluster_size=3
+    )
+    results = experiment.run()
+    assert results["Default Spread"][0.0] == 0
+    assert results["Tuned Spread"][0.0] == 0
+
+
+def test_aggressive_tuning_misfires_more_under_loss():
+    experiment = FalsePositiveExperiment(
+        loss_rates=(0.10,), duration=60.0, trials=1, cluster_size=3
+    )
+    results = experiment.run()
+    assert results["Tuned Spread"][0.10] > results["Default Spread"][0.10]
+
+
+def test_false_positive_format():
+    experiment = FalsePositiveExperiment(
+        loss_rates=(0.0,), duration=30.0, trials=1, cluster_size=2
+    )
+    text = experiment.format()
+    assert "False-positive" in text
+    assert "0%" in text
+
+
+def test_sensitivity_expected_centre_formula():
+    experiment = SensitivityExperiment()
+    # fd - hb/2 + discovery with the Table 1 ratios = 2.2 x fd.
+    assert experiment.expected_centre(1.0) == pytest.approx(2.2)
+    assert experiment.expected_centre(5.0) == pytest.approx(11.0)
+
+
+def test_sensitivity_is_monotonic_and_near_expected():
+    experiment = SensitivityExperiment(fd_timeouts=(1.0, 3.0), trials=2)
+    points = experiment.run()
+    values = [value for _, value in points]
+    assert values == sorted(values)
+    for fd, value in points:
+        assert value == pytest.approx(experiment.expected_centre(fd), rel=0.25)
+
+
+def test_sensitivity_format_contains_chart():
+    experiment = SensitivityExperiment(fd_timeouts=(1.0, 2.0), trials=1)
+    text = experiment.format()
+    assert "Interruption vs timeout scale" in text
+    assert "measured" in text and "expected" in text

@@ -1,0 +1,93 @@
+"""Unit tests for the heartbeat failure detector's timing model."""
+
+from repro.gcs.config import SpreadConfig
+from repro.gcs.failure import FailureDetector
+from repro.sim.simulation import Simulation
+
+
+class StubDaemon:
+    def __init__(self, sim, config):
+        self.sim = sim
+        self.config = config
+        self.daemon_id = "me"
+
+
+def build(fd=1.0, hb=0.4):
+    sim = Simulation(seed=0)
+    config = SpreadConfig(
+        fault_detection_timeout=fd, heartbeat_timeout=hb, discovery_timeout=1.0
+    )
+    daemon = StubDaemon(sim, config)
+    suspected = []
+    detector = FailureDetector(daemon, suspected.append)
+    return sim, detector, suspected
+
+
+def test_silent_peer_suspected_after_fault_detection_timeout():
+    sim, detector, suspected = build()
+    detector.watch(["me", "peer"])
+    sim.run(until=0.99)
+    assert suspected == []
+    sim.run(until=1.01)
+    assert suspected == ["peer"]
+
+
+def test_traffic_refreshes_the_timer():
+    sim, detector, suspected = build()
+    detector.watch(["peer"])
+    sim.after(0.5, detector.heard_from, "peer")
+    sim.run(until=1.4)
+    assert suspected == []
+    sim.run(until=1.6)
+    assert suspected == ["peer"]
+
+
+def test_self_is_never_watched():
+    sim, detector, suspected = build()
+    detector.watch(["me"])
+    assert detector.watched == frozenset()
+
+
+def test_stop_cancels_all_suspicions():
+    sim, detector, suspected = build()
+    detector.watch(["a", "b"])
+    detector.stop()
+    sim.run(until=5.0)
+    assert suspected == []
+
+
+def test_watch_replaces_previous_set():
+    sim, detector, suspected = build()
+    detector.watch(["a"])
+    detector.watch(["b"])
+    sim.run(until=2.0)
+    assert suspected == ["b"]
+
+
+def test_heard_from_unwatched_peer_is_ignored():
+    sim, detector, suspected = build()
+    detector.watch(["a"])
+    detector.heard_from("z")
+    sim.run(until=2.0)
+    assert suspected == ["a"]
+
+
+def test_suspicion_counter():
+    sim, detector, suspected = build()
+    detector.watch(["a", "b"])
+    sim.run(until=2.0)
+    assert detector.suspicions == 2
+
+
+def test_detection_delay_within_paper_window():
+    """A peer heartbeating every hb then dying is detected within
+    [fd - hb, fd] of the failure (the §6 analysis)."""
+    sim, detector, suspected = build(fd=5.0, hb=2.0)
+    detector.watch(["peer"])
+    # Heartbeats at 0, 2, 4; failure at 4.7 (0.7s after last beat).
+    for t in (0.0, 2.0, 4.0):
+        sim.at(t, detector.heard_from, "peer")
+    failure_time = 4.7
+    sim.run(until=20.0)
+    detection_delay = (4.0 + 5.0) - failure_time  # timer from last beat
+    assert 5.0 - 2.0 <= detection_delay <= 5.0

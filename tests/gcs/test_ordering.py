@@ -1,0 +1,110 @@
+"""Integration tests for agreed (totally ordered) delivery."""
+
+from helpers import build_gcs_cluster, settle_gcs
+
+
+def connect_all(cluster, group="g"):
+    clients, logs = [], []
+    for daemon in cluster.daemons:
+        client = daemon.connect("app")
+        log = []
+        client.on_message = lambda m, log=log: log.append((m.sender, m.payload))
+        client.join(group)
+        clients.append(client)
+        logs.append(log)
+    cluster.sim.run_for(0.5)
+    return clients, logs
+
+
+def test_all_members_deliver_identical_sequences():
+    cluster = settle_gcs(build_gcs_cluster(4))
+    clients, logs = connect_all(cluster)
+    for index, client in enumerate(clients):
+        client.multicast("g", "m{}".format(index))
+    cluster.sim.run_for(1.0)
+    assert logs[0], "no messages delivered"
+    assert all(log == logs[0] for log in logs)
+    assert len(logs[0]) == 4
+
+
+def test_sender_receives_own_messages():
+    cluster = settle_gcs(build_gcs_cluster(3))
+    clients, logs = connect_all(cluster)
+    clients[1].multicast("g", "hello")
+    cluster.sim.run_for(0.5)
+    sender_log = logs[1]
+    assert (clients[1].private_name, "hello") in sender_log
+
+
+def test_interleaved_sends_totally_ordered():
+    cluster = settle_gcs(build_gcs_cluster(4))
+    clients, logs = connect_all(cluster)
+    for round_index in range(5):
+        for index, client in enumerate(clients):
+            client.multicast("g", (round_index, index))
+    cluster.sim.run_for(2.0)
+    assert len(logs[0]) == 20
+    assert all(log == logs[0] for log in logs)
+
+
+def test_non_members_receive_nothing():
+    cluster = settle_gcs(build_gcs_cluster(3))
+    member = cluster.daemons[0].connect("member")
+    outsider = cluster.daemons[1].connect("outsider")
+    member_log, outsider_log = [], []
+    member.on_message = lambda m: member_log.append(m.payload)
+    outsider.on_message = lambda m: outsider_log.append(m.payload)
+    member.join("g")
+    cluster.sim.run_for(0.5)
+    member.multicast("g", "private")
+    cluster.sim.run_for(0.5)
+    assert member_log == ["private"]
+    assert outsider_log == []
+
+
+def test_message_carries_group_and_view_id():
+    cluster = settle_gcs(build_gcs_cluster(2))
+    clients, _ = connect_all(cluster)
+    seen = []
+    clients[0].on_message = seen.append
+    clients[1].multicast("g", "x")
+    cluster.sim.run_for(0.5)
+    assert seen[0].group == "g"
+    assert seen[0].view_id == cluster.daemons[0].current_view.view_id
+
+
+def test_lossy_lan_still_delivers_via_nack():
+    cluster = build_gcs_cluster(3, seed=9)
+    cluster.lan.loss = 0.2
+    settle_gcs(cluster)
+    settle_gcs(cluster)
+    clients, logs = connect_all(cluster)
+    for index in range(10):
+        clients[index % 3].multicast("g", index)
+    cluster.sim.run_for(5.0)
+    payloads = [p for _, p in logs[0]]
+    assert sorted(payloads) == list(range(10))
+    assert all(log == logs[0] for log in logs)
+
+
+def test_messages_sent_while_reconfiguring_are_delivered_after_install():
+    cluster = settle_gcs(build_gcs_cluster(3))
+    clients, logs = connect_all(cluster)
+    # Force a reconfiguration, then send during the gather.
+    cluster.faults.crash_host(cluster.hosts[2])
+    cluster.sim.run_for(cluster.config.fault_detection_timeout + 0.1)
+    clients[0].multicast("g", "during-gather")
+    settle_gcs(cluster)
+    survivors_logs = logs[:2]
+    assert ("during-gather" in [p for _, p in survivors_logs[0]])
+    assert survivors_logs[0] == survivors_logs[1]
+
+
+def test_ordering_restarts_fresh_each_view():
+    cluster = settle_gcs(build_gcs_cluster(3))
+    connect_all(cluster)
+    first_orderer = cluster.daemons[0].orderer
+    cluster.faults.crash_host(cluster.hosts[2])
+    settle_gcs(cluster)
+    assert cluster.daemons[0].orderer is not first_orderer
+    assert cluster.daemons[0].orderer.delivered_aru == 0

@@ -1,0 +1,117 @@
+"""Tests for the SAFE service level (delivery after cluster-wide receipt)."""
+
+import pytest
+
+from helpers import build_gcs_cluster, settle_gcs
+
+
+def connect_all(cluster, group="g"):
+    clients, logs = [], []
+    for daemon in cluster.daemons:
+        client = daemon.connect("app")
+        log = []
+        client.on_message = lambda m, log=log: log.append(m.payload)
+        client.join(group)
+        clients.append(client)
+        logs.append(log)
+    cluster.sim.run_for(0.5)
+    return clients, logs
+
+
+def test_safe_message_delivered_everywhere_on_healthy_lan():
+    cluster = settle_gcs(build_gcs_cluster(3))
+    clients, logs = connect_all(cluster)
+    clients[0].multicast("g", "safe-payload", service="safe")
+    cluster.sim.run_for(1.0)
+    assert all(log == ["safe-payload"] for log in logs)
+
+
+def test_safe_delivery_waits_for_deaf_member():
+    cluster = settle_gcs(build_gcs_cluster(3))
+    clients, logs = connect_all(cluster)
+    # node2 goes deaf (but keeps sending, so no suspicion).
+    deaf_socket = cluster.daemons[2]._socket
+    real_handler = deaf_socket.handler
+    deaf_socket.handler = lambda *args: None
+    clients[0].multicast("g", "held", service="safe")
+    cluster.sim.run_for(0.3)
+    # Nobody may deliver: node2 has not received the message.
+    assert all(log == [] for log in logs)
+    # Hearing restored: NACK recovery + aru exchange release it.
+    deaf_socket.handler = real_handler
+    cluster.sim.run_for(cluster.config.heartbeat_timeout * 4 + 1.0)
+    assert all(log == ["held"] for log in logs)
+
+
+def test_agreed_message_behind_safe_also_waits():
+    cluster = settle_gcs(build_gcs_cluster(3))
+    clients, logs = connect_all(cluster)
+    deaf_socket = cluster.daemons[2]._socket
+    real_handler = deaf_socket.handler
+    deaf_socket.handler = lambda *args: None
+    clients[0].multicast("g", "safe-first", service="safe")
+    clients[1].multicast("g", "agreed-second")
+    cluster.sim.run_for(0.3)
+    # Total order: the agreed message is behind the stalled safe one.
+    assert logs[0] == [] and logs[1] == []
+    deaf_socket.handler = real_handler
+    cluster.sim.run_for(cluster.config.heartbeat_timeout * 4 + 1.0)
+    assert all(log == ["safe-first", "agreed-second"] for log in logs)
+
+
+def test_agreed_messages_before_safe_unaffected():
+    cluster = settle_gcs(build_gcs_cluster(3))
+    clients, logs = connect_all(cluster)
+    clients[0].multicast("g", "plain")
+    cluster.sim.run_for(0.2)
+    assert all(log == ["plain"] for log in logs)
+
+
+def test_safe_interleaved_with_agreed_keeps_total_order():
+    cluster = settle_gcs(build_gcs_cluster(4))
+    clients, logs = connect_all(cluster)
+    for index in range(9):
+        service = "safe" if index % 3 == 0 else "agreed"
+        clients[index % 4].multicast("g", index, service=service)
+    cluster.sim.run_for(2.0)
+    assert all(log == logs[0] for log in logs)
+    assert sorted(logs[0]) == list(range(9))
+
+
+def test_safe_delivery_across_view_change():
+    """A safe message in flight when a member dies is still delivered
+    consistently to the survivors (via the recovery union)."""
+    cluster = settle_gcs(build_gcs_cluster(3))
+    clients, logs = connect_all(cluster)
+    deaf_socket = cluster.daemons[2]._socket
+    deaf_socket.handler = lambda *args: None
+    clients[0].multicast("g", "inflight", service="safe")
+    cluster.sim.run_for(0.2)
+    assert logs[0] == []
+    cluster.faults.crash_host(cluster.hosts[2])
+    settle_gcs(cluster)
+    cluster.sim.run_for(1.0)
+    # The survivors advanced together: both deliver it (or neither).
+    assert logs[0] == logs[1]
+    assert logs[0] == ["inflight"]
+
+
+def test_unknown_service_level_rejected():
+    cluster = settle_gcs(build_gcs_cluster(1))
+    client = cluster.daemons[0].connect("app")
+    client.join("g")
+    cluster.sim.run_for(0.2)
+    with pytest.raises(ValueError):
+        client.multicast("g", "x", service="psychic")
+
+
+def test_singleton_view_safe_is_immediate():
+    cluster = settle_gcs(build_gcs_cluster(1))
+    client = cluster.daemons[0].connect("app")
+    log = []
+    client.on_message = lambda m: log.append(m.payload)
+    client.join("g")
+    cluster.sim.run_for(0.2)
+    client.multicast("g", "solo", service="safe")
+    cluster.sim.run_for(0.2)
+    assert log == ["solo"]

@@ -1,0 +1,38 @@
+"""Unit tests for view identifiers and daemon views."""
+
+from repro.gcs.views import DaemonView, ViewId
+
+
+def test_view_id_total_order_by_counter_then_rep():
+    assert ViewId(1, "a") < ViewId(2, "a")
+    assert ViewId(2, "a") < ViewId(2, "b")
+    assert ViewId(2, "b") <= ViewId(2, "b")
+
+
+def test_view_id_equality_and_hash():
+    assert ViewId(3, "x") == ViewId(3, "x")
+    assert len({ViewId(3, "x"), ViewId(3, "x")}) == 1
+    assert ViewId(3, "x") != ViewId(3, "y")
+
+
+def test_members_are_uniquely_ordered():
+    view = DaemonView(ViewId(1, "a"), ["c", "a", "b"])
+    assert view.members == ("a", "b", "c")
+
+
+def test_representative_is_first_member():
+    view = DaemonView(ViewId(1, "a"), ["b", "a"])
+    assert view.representative == "a"
+
+
+def test_membership_containment():
+    view = DaemonView(ViewId(1, "a"), ["a", "b"])
+    assert "a" in view
+    assert "z" not in view
+
+
+def test_view_equality():
+    a = DaemonView(ViewId(1, "a"), ["a", "b"])
+    b = DaemonView(ViewId(1, "a"), ["b", "a"])
+    assert a == b
+    assert hash(a) == hash(b)

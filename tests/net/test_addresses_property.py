@@ -1,0 +1,55 @@
+"""Property tests for the address value types."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPAddress, MACAddress, Subnet
+
+ip_ints = st.integers(0, 2**32 - 1)
+mac_ints = st.integers(0, 2**48 - 1)
+
+
+@given(ip_ints)
+def test_ip_string_roundtrip(value):
+    address = IPAddress(value)
+    assert IPAddress(str(address)) == address
+    assert IPAddress(str(address)).value == value
+
+
+@given(mac_ints)
+def test_mac_string_roundtrip(value):
+    address = MACAddress(value)
+    assert MACAddress(str(address)) == address
+
+
+@given(ip_ints, ip_ints)
+def test_ip_ordering_matches_integers(a, b):
+    assert (IPAddress(a) < IPAddress(b)) == (a < b)
+    assert (IPAddress(a) == IPAddress(b)) == (a == b)
+
+
+@given(ip_ints, st.integers(0, 32))
+def test_subnet_contains_its_network_and_broadcast(value, prefix):
+    subnet = Subnet("{}/{}".format(IPAddress(value), prefix))
+    assert subnet.network in subnet
+    assert subnet.broadcast_address in subnet
+
+
+@given(ip_ints, st.integers(1, 31), ip_ints)
+def test_subnet_membership_matches_mask_arithmetic(base, prefix, candidate):
+    subnet = Subnet("{}/{}".format(IPAddress(base), prefix))
+    mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF
+    expected = (candidate & mask) == subnet.network.value
+    assert (IPAddress(candidate) in subnet) == expected
+
+
+@given(ip_ints, st.integers(0, 32))
+def test_subnet_string_roundtrip(value, prefix):
+    subnet = Subnet("{}/{}".format(IPAddress(value), prefix))
+    assert Subnet(str(subnet)) == subnet
+
+
+@given(ip_ints, st.integers(0, 255))
+def test_ip_addition_consistent(value, offset):
+    if value + offset <= 0xFFFFFFFF:
+        assert (IPAddress(value) + offset).value == value + offset

@@ -1,0 +1,70 @@
+"""Unit tests for the fault injector."""
+
+from repro.net.fault import FaultInjector
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+
+def build():
+    sim = Simulation(seed=6)
+    lan = Lan(sim, "lan0", "10.0.0.0/24")
+    hosts = []
+    for index in range(3):
+        host = Host(sim, "h{}".format(index))
+        host.add_nic(lan, "10.0.0.{}".format(1 + index))
+        hosts.append(host)
+    return sim, lan, hosts, FaultInjector(sim)
+
+
+def test_crash_and_recover():
+    sim, lan, hosts, injector = build()
+    injector.crash_host(hosts[0])
+    assert not hosts[0].alive
+    injector.recover_host(hosts[0])
+    assert hosts[0].alive
+
+
+def test_nic_down_up():
+    sim, lan, hosts, injector = build()
+    nic = hosts[0].nics[0]
+    injector.nic_down(nic)
+    assert not nic.up
+    injector.nic_up(nic)
+    assert nic.up
+
+
+def test_partition_and_heal():
+    sim, lan, hosts, injector = build()
+    injector.partition(lan, [[hosts[0]], [hosts[1], hosts[2]]])
+    assert not lan.connected(hosts[0].nics[0], hosts[1].nics[0])
+    injector.heal(lan)
+    assert lan.connected(hosts[0].nics[0], hosts[1].nics[0])
+
+
+def test_scheduled_faults_fire_at_requested_times():
+    sim, lan, hosts, injector = build()
+    injector.after(1.0, injector.crash_host, hosts[0])
+    injector.at(2.0, injector.recover_host, hosts[0])
+    sim.run(until=0.5)
+    assert hosts[0].alive
+    sim.run(until=1.5)
+    assert not hosts[0].alive
+    sim.run(until=2.5)
+    assert hosts[0].alive
+
+
+def test_fault_log_records_everything():
+    sim, lan, hosts, injector = build()
+    injector.crash_host(hosts[0])
+    injector.nic_down(hosts[1].nics[0])
+    injector.partition(lan, [[hosts[2]]])
+    injector.heal(lan)
+    kinds = [kind for _, kind, _ in injector.log]
+    assert kinds == ["crash", "nic_down", "partition", "heal"]
+
+
+def test_faults_traced():
+    sim, lan, hosts, injector = build()
+    injector.crash_host(hosts[0])
+    assert sim.trace.last(category="fault", event="crash") is not None

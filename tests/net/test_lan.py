@@ -1,0 +1,165 @@
+"""Unit tests for the LAN segment: delivery, partitions, loss."""
+
+from repro.net.addresses import BROADCAST_MAC
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.net.packet import EthernetFrame
+from repro.sim.simulation import Simulation
+
+# A test-only ethertype: real host handlers ignore it, so frames can
+# carry plain strings without confusing the IP layer.
+TEST_ETHERTYPE = 0x9999
+
+
+def build(n=3, **lan_kwargs):
+    sim = Simulation(seed=1)
+    lan = Lan(sim, "lan0", "10.0.0.0/24", **lan_kwargs)
+    hosts = []
+    for index in range(n):
+        host = Host(sim, "h{}".format(index))
+        host.add_nic(lan, "10.0.0.{}".format(1 + index))
+        hosts.append(host)
+    return sim, lan, hosts
+
+
+def capture_frames(host):
+    received = []
+    host.handle_frame = lambda nic, frame: received.append(frame)
+    return received
+
+
+def test_unicast_reaches_only_destination_mac():
+    sim, lan, hosts = build()
+    received_1 = capture_frames(hosts[1])
+    received_2 = capture_frames(hosts[2])
+    frame = EthernetFrame(hosts[0].nics[0].mac, hosts[1].nics[0].mac, TEST_ETHERTYPE, "x")
+    hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert len(received_1) == 1
+    assert len(received_2) == 0
+
+
+def test_broadcast_reaches_everyone_but_sender():
+    sim, lan, hosts = build()
+    received = [capture_frames(host) for host in hosts]
+    frame = EthernetFrame(hosts[0].nics[0].mac, BROADCAST_MAC, TEST_ETHERTYPE, "x")
+    hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert [len(r) for r in received] == [0, 1, 1]
+
+
+def test_delivery_is_delayed_by_latency():
+    sim, lan, hosts = build()
+    lan.latency = 0.005
+    times = []
+    hosts[1].handle_frame = lambda nic, frame: times.append(sim.now)
+    frame = EthernetFrame(hosts[0].nics[0].mac, hosts[1].nics[0].mac, TEST_ETHERTYPE, "x")
+    hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert times == [0.005]
+
+
+def test_partition_blocks_cross_group_frames():
+    sim, lan, hosts = build()
+    received = capture_frames(hosts[1])
+    lan.partition([[hosts[0]], [hosts[1], hosts[2]]])
+    frame = EthernetFrame(hosts[0].nics[0].mac, BROADCAST_MAC, TEST_ETHERTYPE, "x")
+    hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert received == []
+
+
+def test_partition_allows_same_group_frames():
+    sim, lan, hosts = build()
+    received = capture_frames(hosts[2])
+    lan.partition([[hosts[0]], [hosts[1], hosts[2]]])
+    frame = EthernetFrame(hosts[1].nics[0].mac, BROADCAST_MAC, TEST_ETHERTYPE, "x")
+    hosts[1].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert len(received) == 1
+
+
+def test_heal_restores_full_connectivity():
+    sim, lan, hosts = build()
+    received = capture_frames(hosts[1])
+    lan.partition([[hosts[0]], [hosts[1]]])
+    lan.heal()
+    frame = EthernetFrame(hosts[0].nics[0].mac, BROADCAST_MAC, TEST_ETHERTYPE, "x")
+    hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert len(received) == 1
+
+
+def test_unlisted_hosts_stay_in_group_zero():
+    sim, lan, hosts = build()
+    lan.partition([[hosts[1]]])
+    nic0, nic1, nic2 = (h.nics[0] for h in hosts)
+    assert lan.connected(nic0, nic2)
+    assert not lan.connected(nic0, nic1)
+
+
+def test_connected_reflects_groups():
+    sim, lan, hosts = build()
+    nic0, nic1 = hosts[0].nics[0], hosts[1].nics[0]
+    assert lan.connected(nic0, nic1)
+    lan.partition([[hosts[0]], [hosts[1]]])
+    assert not lan.connected(nic0, nic1)
+
+
+def test_down_nic_receives_nothing():
+    sim, lan, hosts = build()
+    received = capture_frames(hosts[1])
+    hosts[1].nics[0].set_up(False)
+    frame = EthernetFrame(hosts[0].nics[0].mac, BROADCAST_MAC, TEST_ETHERTYPE, "x")
+    hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert received == []
+
+
+def test_down_nic_sends_nothing():
+    sim, lan, hosts = build()
+    received = capture_frames(hosts[1])
+    hosts[0].nics[0].set_up(False)
+    frame = EthernetFrame(hosts[0].nics[0].mac, BROADCAST_MAC, TEST_ETHERTYPE, "x")
+    hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert received == []
+
+
+def test_loss_drops_frames_deterministically_per_seed():
+    sim, lan, hosts = build(loss=1.0)
+    received = capture_frames(hosts[1])
+    frame = EthernetFrame(hosts[0].nics[0].mac, hosts[1].nics[0].mac, TEST_ETHERTYPE, "x")
+    hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert received == []
+    assert lan.frames_lost == 1
+
+
+def test_jitter_spreads_delivery_times():
+    sim, lan, hosts = build(jitter=0.01)
+    times = []
+    hosts[1].handle_frame = lambda nic, frame: times.append(sim.now)
+    for _ in range(20):
+        frame = EthernetFrame(
+            hosts[0].nics[0].mac, hosts[1].nics[0].mac, TEST_ETHERTYPE, "x"
+        )
+        hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert len(set(times)) > 1
+
+
+def test_frame_counters():
+    sim, lan, hosts = build()
+    frame = EthernetFrame(hosts[0].nics[0].mac, BROADCAST_MAC, TEST_ETHERTYPE, "x")
+    hosts[0].nics[0].transmit(frame)
+    sim.run_until_idle()
+    assert lan.frames_sent == 1
+    assert lan.frames_delivered == 2
+
+
+def test_detach_removes_nic():
+    sim, lan, hosts = build()
+    nic = hosts[2].nics[0]
+    lan.detach(nic)
+    assert nic not in lan.nics

@@ -1,0 +1,73 @@
+"""Unit tests for the host scheduling-load model."""
+
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+
+def build():
+    sim = Simulation(seed=12)
+    lan = Lan(sim, "lan", "10.0.0.0/24")
+    a = Host(sim, "a")
+    a.add_nic(lan, "10.0.0.1")
+    b = Host(sim, "b")
+    b.add_nic(lan, "10.0.0.2")
+    return sim, a, b
+
+
+def test_load_delays_normal_socket_delivery():
+    sim, a, b = build()
+    times = []
+    b.open_udp(100, lambda p, s, d: times.append(sim.now))
+    b.set_load(0.5)
+    for _ in range(20):
+        a.send_udp("x", "10.0.0.2", 100, src_port=1)
+    sim.run_until_idle()
+    assert len(times) == 20
+    # Mean of Exp(0.5) draws: comfortably above the wire latency.
+    assert sum(times) / len(times) > 0.05
+
+
+def test_realtime_socket_bypasses_load():
+    sim, a, b = build()
+    times = []
+    b.open_udp(100, lambda p, s, d: times.append(sim.now), realtime=True)
+    b.set_load(5.0)
+    a.send_udp("x", "10.0.0.2", 100, src_port=1)
+    sim.run_until_idle()
+    assert times and times[0] < 0.01
+
+
+def test_zero_load_is_immediate():
+    sim, a, b = build()
+    times = []
+    b.open_udp(100, lambda p, s, d: times.append(sim.now))
+    b.set_load(0.0)
+    a.send_udp("x", "10.0.0.2", 100, src_port=1)
+    sim.run_until_idle()
+    assert times and times[0] < 0.01
+
+
+def test_arp_resolution_unaffected_by_load():
+    """Kernel work (ARP) never waits on user-space scheduling."""
+    sim, a, b = build()
+    b.set_load(10.0)
+    b.open_udp(100, lambda p, s, d: None)
+    a.send_udp("x", "10.0.0.2", 100, src_port=1)
+    sim.run_for(1.0)
+    # The ARP exchange completed promptly despite b's load.
+    assert a.arp.cache.lookup("10.0.0.2") is not None
+
+
+def test_load_is_deterministic_per_seed():
+    def run():
+        sim, a, b = build()
+        times = []
+        b.open_udp(100, lambda p, s, d: times.append(sim.now))
+        b.set_load(0.2)
+        for _ in range(5):
+            a.send_udp("x", "10.0.0.2", 100, src_port=1)
+        sim.run_until_idle()
+        return times
+
+    assert run() == run()

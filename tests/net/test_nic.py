@@ -1,0 +1,80 @@
+"""Unit tests for NIC IP binding — the fail-over control surface."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+
+@pytest.fixture
+def nic(sim, lan):
+    host = Host(sim, "h")
+    return host.add_nic(lan, "10.0.0.1")
+
+
+def test_primary_ip_bound_at_creation(nic):
+    assert nic.owns_ip("10.0.0.1")
+    assert nic.primary_ip == "10.0.0.1"
+
+
+def test_bind_virtual_ip(nic):
+    from repro.net.addresses import IPAddress
+
+    nic.bind_ip("10.0.0.100")
+    assert nic.owns_ip("10.0.0.100")
+    assert IPAddress("10.0.0.100") in nic.virtual_ips
+
+
+def test_virtual_ips_excludes_primary(nic):
+    nic.bind_ip("10.0.0.100")
+    assert nic.primary_ip not in nic.virtual_ips
+    assert len(nic.virtual_ips) == 1
+
+
+def test_bind_is_idempotent(nic):
+    nic.bind_ip("10.0.0.100")
+    nic.bind_ip("10.0.0.100")
+    assert len(nic.bound_ips) == 2
+
+
+def test_unbind_releases(nic):
+    nic.bind_ip("10.0.0.100")
+    nic.unbind_ip("10.0.0.100")
+    assert not nic.owns_ip("10.0.0.100")
+
+
+def test_unbind_primary_rejected(nic):
+    with pytest.raises(ValueError):
+        nic.unbind_ip("10.0.0.1")
+
+
+def test_bind_outside_subnet_rejected(nic):
+    with pytest.raises(ValueError):
+        nic.bind_ip("192.168.5.5")
+
+
+def test_primary_outside_subnet_rejected(sim, lan):
+    host = Host(sim, "h2")
+    with pytest.raises(ValueError):
+        host.add_nic(lan, "172.16.0.1")
+
+
+def test_unique_macs_allocated(sim, lan):
+    host = Host(sim, "h3")
+    nic_a = host.add_nic(lan, "10.0.0.8")
+    nic_b = host.add_nic(lan, "10.0.0.9")
+    assert nic_a.mac != nic_b.mac
+
+
+def test_down_nic_not_counted_in_host_ips(sim, lan):
+    host = Host(sim, "h4")
+    nic = host.add_nic(lan, "10.0.0.7")
+    nic.set_up(False)
+    assert not host.owns_ip("10.0.0.7")
+
+
+def test_nic_auto_attaches_to_lan(sim, lan):
+    host = Host(sim, "h5")
+    nic = host.add_nic(lan, "10.0.0.6")
+    assert nic in lan.nics

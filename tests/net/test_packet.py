@@ -1,0 +1,43 @@
+"""Unit tests for packet types."""
+
+from repro.net.addresses import IPAddress, MACAddress
+from repro.net.packet import (
+    ArpOp,
+    ArpPacket,
+    EthernetFrame,
+    IpPacket,
+    UdpDatagram,
+)
+
+
+def test_ip_packet_forwarded_copy_decrements_ttl():
+    packet = IpPacket(IPAddress("10.0.0.1"), IPAddress("10.0.0.2"), "x")
+    hop = packet.forwarded_copy()
+    assert hop.ttl == packet.ttl - 1
+    assert hop.payload == "x"
+    assert hop.src_ip == packet.src_ip
+
+
+def test_ip_packet_default_ttl():
+    packet = IpPacket(IPAddress(1), IPAddress(2), None)
+    assert packet.ttl == IpPacket.DEFAULT_TTL
+
+
+def test_gratuitous_arp_detection():
+    vip = IPAddress("10.0.0.50")
+    mac = MACAddress(1)
+    packet = ArpPacket(ArpOp.REPLY, vip, mac, vip, mac)
+    assert packet.is_gratuitous
+    other = ArpPacket(ArpOp.REQUEST, IPAddress("10.0.0.1"), mac, vip)
+    assert not other.is_gratuitous
+
+
+def test_reprs_are_informative():
+    frame = EthernetFrame(MACAddress(1), MACAddress(2), 0x0800, "p")
+    assert "0x0800" in repr(frame)
+    datagram = UdpDatagram(1, 2, "p")
+    assert "1 -> 2" in repr(datagram)
+    request = ArpPacket(ArpOp.REQUEST, IPAddress(1), MACAddress(1), IPAddress(2))
+    assert "REQUEST" in repr(request)
+    reply = ArpPacket(ArpOp.REPLY, IPAddress(1), MACAddress(1), IPAddress(2))
+    assert "REPLY" in repr(reply)

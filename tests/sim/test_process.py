@@ -1,0 +1,80 @@
+"""Unit tests for the Process base class."""
+
+from repro.sim.process import Process
+from repro.sim.simulation import Simulation
+
+
+def test_process_timer_fires_while_alive():
+    sim = Simulation()
+    process = Process(sim, "p")
+    fired = []
+    timer = process.timer(lambda: fired.append(sim.now))
+    timer.start(1.0)
+    sim.run_until_idle()
+    assert fired == [1.0]
+
+
+def test_stopped_process_timers_do_not_fire():
+    sim = Simulation()
+    process = Process(sim, "p")
+    fired = []
+    timer = process.timer(lambda: fired.append(1))
+    timer.start(1.0)
+    process.stop()
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_stop_suppresses_already_scheduled_after_calls():
+    sim = Simulation()
+    process = Process(sim, "p")
+    fired = []
+    process.after(1.0, fired.append, "x")
+    sim.after(0.5, process.stop)
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_periodic_stops_with_process():
+    sim = Simulation()
+    process = Process(sim, "p")
+    ticks = []
+    periodic = process.periodic(lambda: ticks.append(sim.now), 1.0)
+    periodic.start()
+    sim.after(2.5, process.stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+
+
+def test_restart_allows_new_timers():
+    sim = Simulation()
+    process = Process(sim, "p")
+    fired = []
+    process.stop()
+    process.restart()
+    process.after(1.0, fired.append, "x")
+    sim.run_until_idle()
+    assert fired == ["x"]
+
+
+def test_trace_attributes_to_process_name():
+    sim = Simulation()
+    process = Process(sim, "my-proc")
+    process.trace("cat", "evt", a=1)
+    record = sim.trace.last(category="cat")
+    assert record.source == "my-proc"
+
+
+def test_rng_streams_scoped_per_process():
+    sim = Simulation(seed=3)
+    a = Process(sim, "a").rng()
+    b = Process(sim, "b").rng()
+    assert a.random() != b.random()
+
+
+def test_repr_shows_liveness():
+    sim = Simulation()
+    process = Process(sim, "p")
+    assert "alive" in repr(process)
+    process.stop()
+    assert "stopped" in repr(process)

@@ -1,0 +1,178 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.errors import SchedulerError
+from repro.sim.scheduler import Scheduler
+
+
+def test_starts_at_time_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_runs_events_in_time_order():
+    scheduler = Scheduler()
+    order = []
+    scheduler.after(0.3, order.append, "c")
+    scheduler.after(0.1, order.append, "a")
+    scheduler.after(0.2, order.append, "b")
+    scheduler.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_time_events_run_fifo():
+    scheduler = Scheduler()
+    order = []
+    for label in "abcde":
+        scheduler.after(1.0, order.append, label)
+    scheduler.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    scheduler = Scheduler()
+    seen = []
+    scheduler.after(2.5, lambda: seen.append(scheduler.now))
+    scheduler.run()
+    assert seen == [2.5]
+    assert scheduler.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    scheduler = Scheduler()
+    fired = []
+    scheduler.after(1.0, fired.append, 1)
+    scheduler.after(5.0, fired.append, 5)
+    scheduler.run(until=2.0)
+    assert fired == [1]
+    assert scheduler.now == 2.0
+
+
+def test_run_until_executes_event_exactly_at_boundary():
+    scheduler = Scheduler()
+    fired = []
+    scheduler.after(2.0, fired.append, 2)
+    scheduler.run(until=2.0)
+    assert fired == [2]
+
+
+def test_run_until_advances_clock_even_when_idle():
+    scheduler = Scheduler()
+    scheduler.run(until=7.0)
+    assert scheduler.now == 7.0
+
+
+def test_cancelled_event_does_not_fire():
+    scheduler = Scheduler()
+    fired = []
+    event = scheduler.after(1.0, fired.append, "x")
+    event.cancel()
+    scheduler.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    scheduler = Scheduler()
+    event = scheduler.after(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    scheduler.run()
+    assert not event.pending
+
+
+def test_events_scheduled_during_run_execute():
+    scheduler = Scheduler()
+    order = []
+
+    def first():
+        order.append("first")
+        scheduler.after(1.0, lambda: order.append("second"))
+
+    scheduler.after(1.0, first)
+    scheduler.run()
+    assert order == ["first", "second"]
+    assert scheduler.now == 2.0
+
+
+def test_zero_delay_event_runs_at_current_time():
+    scheduler = Scheduler()
+    seen = []
+    scheduler.after(1.0, lambda: scheduler.after(0.0, lambda: seen.append(scheduler.now)))
+    scheduler.run()
+    assert seen == [1.0]
+
+
+def test_scheduling_in_the_past_raises():
+    scheduler = Scheduler()
+    scheduler.after(1.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(SchedulerError):
+        scheduler.at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SchedulerError):
+        Scheduler().after(-1.0, lambda: None)
+
+
+def test_max_events_limits_execution():
+    scheduler = Scheduler()
+    fired = []
+    for index in range(10):
+        scheduler.after(0.1 * (index + 1), fired.append, index)
+    scheduler.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_run_returns_number_of_fired_events():
+    scheduler = Scheduler()
+    for index in range(4):
+        scheduler.after(0.1, lambda: None)
+    assert scheduler.run() == 4
+
+
+def test_events_fired_counter_accumulates():
+    scheduler = Scheduler()
+    scheduler.after(0.1, lambda: None)
+    scheduler.run()
+    scheduler.after(0.1, lambda: None)
+    scheduler.run()
+    assert scheduler.events_fired == 2
+
+
+def test_run_until_idle_raises_on_runaway_loop():
+    scheduler = Scheduler()
+
+    def loop():
+        scheduler.after(0.1, loop)
+
+    scheduler.after(0.1, loop)
+    with pytest.raises(SchedulerError):
+        scheduler.run_until_idle(max_events=100)
+
+
+def test_next_event_time_skips_cancelled():
+    scheduler = Scheduler()
+    event = scheduler.after(1.0, lambda: None)
+    scheduler.after(2.0, lambda: None)
+    event.cancel()
+    assert scheduler.next_event_time() == 2.0
+
+
+def test_next_event_time_none_when_idle():
+    assert Scheduler().next_event_time() is None
+
+
+def test_reentrant_run_is_rejected():
+    scheduler = Scheduler()
+    errors = []
+
+    def reenter():
+        try:
+            scheduler.run()
+        except SchedulerError as exc:
+            errors.append(exc)
+
+    scheduler.after(0.1, reenter)
+    scheduler.run()
+    assert len(errors) == 1

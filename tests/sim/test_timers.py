@@ -1,0 +1,107 @@
+"""Unit tests for one-shot and periodic timers."""
+
+import pytest
+
+from repro.sim.scheduler import Scheduler
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+def test_timer_fires_after_delay():
+    scheduler = Scheduler()
+    fired = []
+    timer = Timer(scheduler, lambda: fired.append(scheduler.now))
+    timer.start(1.5)
+    scheduler.run()
+    assert fired == [1.5]
+
+
+def test_timer_restart_supersedes_previous_deadline():
+    scheduler = Scheduler()
+    fired = []
+    timer = Timer(scheduler, lambda: fired.append(scheduler.now))
+    timer.start(1.0)
+    scheduler.after(0.5, lambda: timer.start(1.0))
+    scheduler.run()
+    assert fired == [1.5]
+
+
+def test_timer_cancel_prevents_firing():
+    scheduler = Scheduler()
+    fired = []
+    timer = Timer(scheduler, lambda: fired.append(1))
+    timer.start(1.0)
+    timer.cancel()
+    scheduler.run()
+    assert fired == []
+
+
+def test_timer_armed_and_deadline():
+    scheduler = Scheduler()
+    timer = Timer(scheduler, lambda: None)
+    assert not timer.armed
+    assert timer.deadline is None
+    timer.start(2.0)
+    assert timer.armed
+    assert timer.deadline == 2.0
+    scheduler.run()
+    assert not timer.armed
+
+
+def test_timer_can_be_reused_after_firing():
+    scheduler = Scheduler()
+    fired = []
+    timer = Timer(scheduler, lambda: fired.append(scheduler.now))
+    timer.start(1.0)
+    scheduler.run()
+    timer.start(1.0)
+    scheduler.run()
+    assert fired == [1.0, 2.0]
+
+
+def test_periodic_timer_fires_repeatedly():
+    scheduler = Scheduler()
+    ticks = []
+    timer = PeriodicTimer(scheduler, lambda: ticks.append(scheduler.now), 1.0)
+    timer.start()
+    scheduler.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_periodic_timer_first_delay_override():
+    scheduler = Scheduler()
+    ticks = []
+    timer = PeriodicTimer(scheduler, lambda: ticks.append(scheduler.now), 1.0)
+    timer.start(first_delay=0.0)
+    scheduler.run(until=2.5)
+    assert ticks == [0.0, 1.0, 2.0]
+
+
+def test_periodic_timer_stop_halts_ticks():
+    scheduler = Scheduler()
+    ticks = []
+    timer = PeriodicTimer(scheduler, lambda: ticks.append(scheduler.now), 1.0)
+    timer.start()
+    scheduler.after(2.5, timer.stop)
+    scheduler.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+
+
+def test_periodic_timer_stop_when_not_running_is_safe():
+    timer = PeriodicTimer(Scheduler(), lambda: None, 1.0)
+    timer.stop()
+    assert not timer.running
+
+
+def test_periodic_timer_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        PeriodicTimer(Scheduler(), lambda: None, 0.0)
+
+
+def test_periodic_timer_restart_resets_phase():
+    scheduler = Scheduler()
+    ticks = []
+    timer = PeriodicTimer(scheduler, lambda: ticks.append(scheduler.now), 1.0)
+    timer.start()
+    scheduler.after(0.5, timer.start)
+    scheduler.run(until=2.0)
+    assert ticks == [1.5]

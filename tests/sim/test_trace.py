@@ -1,0 +1,79 @@
+"""Unit tests for the structured trace log."""
+
+from repro.sim.trace import TraceLog
+
+
+def make_log(time=0.0):
+    holder = {"t": time}
+    log = TraceLog(clock=lambda: holder["t"])
+    return log, holder
+
+
+def test_emit_records_time_and_details():
+    log, holder = make_log()
+    holder["t"] = 4.2
+    record = log.emit("cat", "src", "event", value=1)
+    assert record.time == 4.2
+    assert record.details == {"value": 1}
+
+
+def test_select_filters_by_all_fields():
+    log, holder = make_log()
+    log.emit("a", "x", "e1")
+    holder["t"] = 1.0
+    log.emit("a", "y", "e1")
+    log.emit("b", "x", "e2")
+    assert len(log.select(category="a")) == 2
+    assert len(log.select(source="x")) == 2
+    assert len(log.select(event="e2")) == 1
+    assert len(log.select(category="a", source="y")) == 1
+    assert len(log.select(since=0.5)) == 2
+
+
+def test_last_returns_most_recent_match():
+    log, holder = make_log()
+    log.emit("a", "x", "e")
+    holder["t"] = 2.0
+    log.emit("a", "x", "e")
+    assert log.last(category="a").time == 2.0
+    assert log.last(category="zzz") is None
+
+
+def test_count_tracks_even_when_disabled():
+    log, _ = make_log()
+    log.enabled = False
+    log.emit("a", "x", "e")
+    log.emit("a", "x", "e")
+    assert log.count("a", "e") == 2
+    assert log.records == []
+
+
+def test_count_by_category_sums_events():
+    log, _ = make_log()
+    log.emit("a", "x", "e1")
+    log.emit("a", "x", "e2")
+    assert log.count("a") == 2
+
+
+def test_capacity_bounds_memory():
+    log, _ = make_log()
+    log.capacity = 3
+    for index in range(10):
+        log.emit("a", "x", "e", i=index)
+    assert len(log.records) == 3
+    assert log.records[-1].details["i"] == 9
+
+
+def test_clear_resets_everything():
+    log, _ = make_log()
+    log.emit("a", "x", "e")
+    log.clear()
+    assert log.records == []
+    assert log.count("a") == 0
+
+
+def test_format_renders_lines():
+    log, _ = make_log()
+    log.emit("a", "x", "e", k=1)
+    text = log.format(category="a")
+    assert "a" in text and "x" in text and "e" in text

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(lines)
+
+
+def test_table1_command():
+    code, output = run_cli(["table1", "--trials", "1", "--servers", "2"])
+    assert code == 0
+    assert "Table 1. Spread timeout tuning" in output
+    assert "Failure notification time" in output
+
+
+def test_figure5_command_with_chart():
+    code, output = run_cli(
+        ["figure5", "--sizes", "2", "--trials", "1", "--vips", "4", "--chart"]
+    )
+    assert code == 0
+    assert "Figure 5" in output
+    assert "Cluster Size" in output
+    assert "Fine-tuned" in output
+    assert "|" in output  # the chart frame
+
+
+def test_graceful_command():
+    code, output = run_cli(["graceful", "--trials", "2", "--servers", "2"])
+    assert code == 0
+    assert "Voluntary leave" in output
+
+
+def test_baselines_command():
+    code, output = run_cli(["baselines"])
+    assert code == 0
+    for protocol in ("wackamole-tuned", "vrrp", "hsrp", "fake"):
+        assert protocol in output
+
+
+def test_router_command():
+    code, output = run_cli(["router", "--trials", "1", "--rip-interval", "10"])
+    assert code == 0
+    assert "naive" in output and "advertise_all" in output
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_help_lists_subcommands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for command in ("table1", "figure5", "graceful", "router", "baselines", "tuning", "all"):
+        assert command in help_text

@@ -1,0 +1,158 @@
+"""Property-based tests for the deterministic procedures.
+
+The correctness proof (Lemmas 1 and 2) hinges on three facts: conflict
+resolution is arrival-order independent, reallocation covers exactly
+the holes, and every procedure is a pure function of (table,
+membership order, preferences). Hypothesis searches for violations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balance import compute_balanced_allocation
+from repro.core.conflict import resolve_claim
+from repro.core.reallocate import reallocate_ips
+from repro.core.table import AllocationTable
+
+members_strategy = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    min_size=1,
+    max_size=6,
+    unique=True,
+).map(sorted)
+
+slots_strategy = st.lists(
+    st.integers(min_value=0, max_value=15).map("v{}".format),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+
+
+@st.composite
+def table_with_claims(draw):
+    members = draw(members_strategy)
+    slots = draw(slots_strategy)
+    claims = draw(
+        st.lists(
+            st.tuples(st.sampled_from(slots), st.sampled_from(members)),
+            max_size=30,
+        )
+    )
+    return members, slots, claims
+
+
+@given(table_with_claims())
+@settings(max_examples=200)
+def test_conflict_resolution_is_arrival_order_independent(data):
+    members, slots, claims = data
+    forward = AllocationTable(slots, members=members)
+    for slot, claimant in claims:
+        resolve_claim(forward, slot, claimant)
+    backward = AllocationTable(slots, members=members)
+    for slot, claimant in reversed(claims):
+        resolve_claim(backward, slot, claimant)
+    assert forward.as_dict() == backward.as_dict()
+
+
+@given(table_with_claims())
+@settings(max_examples=200)
+def test_conflict_winner_is_latest_claimant_in_membership_order(data):
+    members, slots, claims = data
+    table = AllocationTable(slots, members=members)
+    for slot, claimant in claims:
+        resolve_claim(table, slot, claimant)
+    for slot in slots:
+        claimants = [m for s, m in claims if s == slot]
+        if claimants:
+            assert table.owner(slot) == max(claimants, key=members.index)
+        else:
+            assert table.owner(slot) is None
+
+
+@given(table_with_claims())
+@settings(max_examples=200)
+def test_reallocate_covers_everything_and_preserves_owners(data):
+    members, slots, claims = data
+    table = AllocationTable(slots, members=members)
+    for slot, claimant in claims:
+        resolve_claim(table, slot, claimant)
+    before = table.as_dict()
+    assignments = reallocate_ips(table)
+    assert table.is_complete()
+    for slot, owner in before.items():
+        if owner is not None:
+            assert table.owner(slot) == owner
+            assert slot not in assignments
+    for slot, owner in assignments.items():
+        assert before[slot] is None
+        assert owner in members
+
+
+@given(members_strategy, slots_strategy)
+@settings(max_examples=200)
+def test_reallocate_from_empty_is_balanced(members, slots):
+    table = AllocationTable(slots, members=members)
+    reallocate_ips(table)
+    counts = table.counts()
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+@given(table_with_claims())
+@settings(max_examples=200)
+def test_reallocate_is_deterministic(data):
+    members, slots, claims = data
+
+    def run():
+        table = AllocationTable(slots, members=members)
+        for slot, claimant in claims:
+            resolve_claim(table, slot, claimant)
+        reallocate_ips(table)
+        return table.as_dict()
+
+    assert run() == run()
+
+
+@given(table_with_claims())
+@settings(max_examples=200)
+def test_balance_output_is_complete_and_even(data):
+    members, slots, claims = data
+    current = {}
+    table = AllocationTable(slots, members=members)
+    for slot, claimant in claims:
+        resolve_claim(table, slot, claimant)
+    current = table.as_dict()
+    allocation = compute_balanced_allocation(members, slots, current)
+    assert set(allocation) == set(slots)
+    assert all(owner in members for owner in allocation.values())
+    counts = {m: 0 for m in members}
+    for owner in allocation.values():
+        counts[owner] += 1
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+@given(table_with_claims())
+@settings(max_examples=200)
+def test_balance_is_idempotent(data):
+    members, slots, claims = data
+    table = AllocationTable(slots, members=members)
+    for slot, claimant in claims:
+        resolve_claim(table, slot, claimant)
+    once = compute_balanced_allocation(members, slots, table.as_dict())
+    twice = compute_balanced_allocation(members, slots, once)
+    assert once == twice
+
+
+@given(
+    members_strategy,
+    slots_strategy,
+    st.data(),
+)
+@settings(max_examples=100)
+def test_balance_honours_single_member_preferences(members, slots, data):
+    preferring = data.draw(st.sampled_from(members))
+    preferred = data.draw(st.sampled_from(slots))
+    allocation = compute_balanced_allocation(
+        members, slots, {}, {preferring: (preferred,)}
+    )
+    assert allocation[preferred] == preferring

@@ -1,0 +1,104 @@
+"""Rule-based stateful testing of a live Wackamole cluster.
+
+Hypothesis drives an arbitrary interleaving of fault and repair rules
+against one cluster, advancing simulated time between steps, and
+checks the agreed-membership coverage invariant after every rule. On
+teardown the cluster must quiesce back to full, exactly-once coverage
+(Properties 1 and 2 as a state-machine property).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from helpers import build_wack_cluster, settle_wack
+
+from repro.core.state import RUN
+
+N = 4
+
+
+class WackamoleClusterMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = None
+
+    @initialize(seed=st.integers(0, 2**16))
+    def boot(self, seed):
+        self.cluster = build_wack_cluster(N, seed=seed, n_vips=5)
+        assert settle_wack(self.cluster)
+
+    # ------------------------------------------------------------------
+    # fault rules
+
+    @rule(index=st.integers(0, N - 1))
+    def crash_a_host(self, index):
+        live = [w for w in self.cluster.wacks if w.alive]
+        victim = self.cluster.wacks[index]
+        if victim.alive and len(live) > 1:
+            self.cluster.faults.crash_host(victim.host)
+
+    @rule(index=st.integers(0, N - 1))
+    def drop_an_interface(self, index):
+        self.cluster.faults.nic_down(self.cluster.hosts[index].nics[0])
+
+    @rule(index=st.integers(0, N - 1))
+    def restore_an_interface(self, index):
+        host = self.cluster.hosts[index]
+        if host.alive:
+            self.cluster.faults.nic_up(host.nics[0])
+
+    @rule(split=st.integers(1, N - 1))
+    def partition_lan(self, split):
+        self.cluster.faults.partition(
+            self.cluster.lan,
+            [self.cluster.hosts[:split], self.cluster.hosts[split:]],
+        )
+
+    @rule()
+    def heal_lan(self):
+        self.cluster.faults.heal(self.cluster.lan)
+
+    @rule(index=st.integers(0, N - 1))
+    def graceful_drain(self, index):
+        live = [w for w in self.cluster.wacks if w.alive]
+        target = self.cluster.wacks[index]
+        if target.alive and len(live) > 1:
+            target.shutdown()
+
+    @rule(seconds=st.floats(0.2, 3.0))
+    def let_time_pass(self, seconds):
+        self.cluster.sim.run_for(seconds)
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def agreed_membership_coverage_exact(self):
+        if self.cluster is None:
+            return
+        violations = self.cluster.auditor.check_by_view()
+        assert violations == [], violations
+
+    def teardown(self):
+        if self.cluster is None:
+            return
+        # End of the episode: repair everything and require quiescence.
+        self.cluster.faults.heal(self.cluster.lan)
+        for host in self.cluster.hosts:
+            if host.alive:
+                for nic in host.nics:
+                    self.cluster.faults.nic_up(nic)
+        live = [w for w in self.cluster.wacks if w.alive]
+        if not live:
+            return
+        assert settle_wack(self.cluster, timeout=40.0)
+        for wack in live:
+            assert wack.machine.state == RUN and wack.mature
+        assert self.cluster.auditor.check() == []
+
+
+WackamoleClusterMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None
+)
+
+TestWackamoleCluster = WackamoleClusterMachine.TestCase
