@@ -1,0 +1,72 @@
+"""Campaign throughput: serial vs. 4-worker parallel fan-out.
+
+Runs the same 32-trial seeded campaign twice — serially and across 4
+worker processes — and records both wall-clock times. The per-seed
+verdicts must be identical in both modes (trial randomness is forked
+per seed, so scheduling cannot change outcomes). On multi-core
+hardware the parallel run must be measurably faster; on a single-CPU
+box the speedup assertion is skipped (there is nothing to fan out to)
+but the identity assertion still holds.
+"""
+
+import os
+import time
+
+from repro.check.campaign import build_specs, run_specs
+
+TRIALS = 32
+WORKERS = 4
+CAMPAIGN = dict(
+    base_seed=20260806,
+    trials=TRIALS,
+    n_servers=5,
+    n_vips=10,
+    horizon=120.0,
+    events_per_trial=12,
+    fixture="standard",
+)
+
+
+def _available_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def bench_check_campaign_serial_vs_parallel(paper_report):
+    specs = build_specs(**CAMPAIGN)
+
+    started = time.perf_counter()
+    serial = run_specs(specs, workers=1)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_specs(specs, workers=WORKERS)
+    parallel_s = time.perf_counter() - started
+
+    assert serial == parallel, "verdicts diverged between serial and parallel"
+    assert [r["verdict"] for r in serial] == ["pass"] * TRIALS
+
+    cpus = _available_cpus()
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    paper_report(
+        "repro check campaign, {} trials ({} servers, {} events, {:.0f}s horizon)\n"
+        "  serial        : {:7.2f}s wall\n"
+        "  {} workers     : {:7.2f}s wall  (speedup x{:.2f}, {} CPU(s) available)".format(
+            TRIALS,
+            CAMPAIGN["n_servers"],
+            CAMPAIGN["events_per_trial"],
+            CAMPAIGN["horizon"],
+            serial_s,
+            WORKERS,
+            parallel_s,
+            speedup,
+            cpus,
+        )
+    )
+    if cpus >= 2:
+        assert parallel_s < serial_s, (
+            "parallel ({:.2f}s) not faster than serial ({:.2f}s) "
+            "with {} CPUs".format(parallel_s, serial_s, cpus)
+        )

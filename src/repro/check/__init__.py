@@ -1,0 +1,41 @@
+"""repro.check — systematic fault-schedule exploration.
+
+The paper's correctness claims (Property 1: exact VIP coverage per
+connected component; Property 2: convergence after stabilization) are
+only as strong as the fault interleavings they were tested under. This
+package *searches* for schedules that break them:
+
+* :mod:`repro.check.schedule` — randomized but fully deterministic
+  fault schedules (NIC flaps, crashes, partitions, graceful leaves),
+  serialized as replayable JSON.
+* :mod:`repro.check.trial` — one trial: fresh simulation, fresh
+  cluster, continuous invariant sampling, end-of-trial convergence.
+* :mod:`repro.check.campaign` — fan trials across worker processes
+  with per-trial forked RNG seeds; shrink and archive failures.
+* :mod:`repro.check.shrink` — delta-debugging minimization of a
+  failing schedule to the fewest fault events that still reproduce.
+* :mod:`repro.check.replay` — byte-identical reproduction of a saved
+  failure artifact.
+* :mod:`repro.check.fixtures` — daemon variants, including planted
+  bugs used to prove the campaign can actually find violations.
+"""
+
+from repro.check.campaign import CampaignReport, build_specs, run_campaign
+from repro.check.replay import load_artifact, replay
+from repro.check.schedule import FaultEvent, FaultSchedule, generate_schedule
+from repro.check.shrink import shrink_spec
+from repro.check.trial import make_spec, run_trial
+
+__all__ = [
+    "CampaignReport",
+    "FaultEvent",
+    "FaultSchedule",
+    "build_specs",
+    "generate_schedule",
+    "load_artifact",
+    "make_spec",
+    "replay",
+    "run_campaign",
+    "run_trial",
+    "shrink_spec",
+]

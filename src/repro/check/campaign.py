@@ -1,0 +1,192 @@
+"""Campaign runner: many deterministic trials, optionally in parallel.
+
+Each trial's randomness comes from ``RngRegistry(base_seed).fork(
+"trial/<index>")`` — an independent derived seed, so trial *i* is the
+same world whether it runs first, last, serially, or on any worker
+process. Parallel fan-out uses ``concurrent.futures`` with the
+``fork`` start method where available so workers inherit the parent's
+interpreter state (including its hash seed) and verdicts stay
+identical across serial and parallel modes.
+
+Failures are shrunk with ddmin and archived as JSON artifacts that
+:mod:`repro.check.replay` can re-run byte-identically.
+"""
+
+import json
+import os
+import time
+
+from repro.check.schedule import generate_schedule
+from repro.check.shrink import shrink_spec
+from repro.check.trial import make_spec, run_trial
+from repro.sim.rng import RngRegistry
+
+ARTIFACT_FORMAT = "repro-check/1"
+
+
+def build_specs(
+    base_seed=0,
+    trials=16,
+    n_servers=4,
+    n_vips=8,
+    horizon=40.0,
+    events_per_trial=8,
+    fixture="standard",
+    **spec_overrides,
+):
+    """Deterministic trial specs: one forked registry per trial."""
+    registry = RngRegistry(base_seed)
+    specs = []
+    for index in range(int(trials)):
+        forked = registry.fork("trial/{}".format(index))
+        schedule = generate_schedule(
+            forked.stream("schedule"),
+            n_hosts=n_servers,
+            horizon=horizon,
+            n_events=events_per_trial,
+        )
+        specs.append(
+            make_spec(
+                forked.seed,
+                schedule,
+                n_servers=n_servers,
+                n_vips=n_vips,
+                fixture=fixture,
+                **spec_overrides,
+            )
+        )
+    return specs
+
+
+def run_specs(specs, workers=1):
+    """Run trials serially (workers<=1) or across worker processes."""
+    if workers <= 1:
+        return [run_trial(spec) for spec in specs]
+    import concurrent.futures
+    import multiprocessing
+
+    mp_context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        mp_context = multiprocessing.get_context("fork")
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=mp_context
+    ) as pool:
+        return list(pool.map(run_trial, specs, chunksize=1))
+
+
+class CampaignReport:
+    """Everything one campaign produced."""
+
+    def __init__(self, specs, results, failures, artifacts, elapsed, workers):
+        self.specs = specs
+        self.results = results
+        self.failures = failures  # [(spec, result, shrunk_spec, shrunk_result)]
+        self.artifacts = artifacts  # paths written, aligned with failures
+        self.elapsed = elapsed
+        self.workers = workers
+
+    @property
+    def verdicts(self):
+        return [result["verdict"] for result in self.results]
+
+    @property
+    def passed(self):
+        return all(v == "pass" for v in self.verdicts)
+
+    def format(self):
+        lines = [
+            "repro check: {} trials, {} worker(s), {:.2f}s wall".format(
+                len(self.results), self.workers, self.elapsed
+            )
+        ]
+        for spec, result in zip(self.specs, self.results):
+            lines.append(
+                "  seed={:<20d} events={:<2d} verdict={}".format(
+                    spec["seed"], len(spec["schedule"]["events"]), result["verdict"]
+                )
+            )
+        if not self.failures:
+            lines.append("  all trials passed")
+        for index, (spec, result, shrunk_spec, shrunk_result) in enumerate(
+            self.failures
+        ):
+            lines.append(
+                "  FAILURE seed={}: {} -> shrunk to {} event(s)".format(
+                    spec["seed"],
+                    result["verdict"],
+                    len(shrunk_spec["schedule"]["events"]),
+                )
+            )
+            for event in shrunk_spec["schedule"]["events"]:
+                lines.append("    {}".format(event))
+            if index < len(self.artifacts):
+                lines.append("    artifact: {}".format(self.artifacts[index]))
+        return "\n".join(lines)
+
+
+def make_artifact(spec, result, original_spec=None, original_result=None):
+    """A self-contained, replayable failure record."""
+    return {
+        "format": ARTIFACT_FORMAT,
+        "spec": spec,
+        "result": result,
+        "original_events": len(
+            (original_spec or spec)["schedule"]["events"]
+        ),
+        "original_verdict": (original_result or result)["verdict"],
+    }
+
+
+def run_campaign(
+    base_seed=0,
+    trials=16,
+    workers=1,
+    n_servers=4,
+    n_vips=8,
+    horizon=40.0,
+    events_per_trial=8,
+    fixture="standard",
+    shrink=True,
+    shrink_budget=80,
+    artifacts_dir=None,
+    **spec_overrides,
+):
+    """Generate, run, and post-process one campaign; returns a report."""
+    specs = build_specs(
+        base_seed=base_seed,
+        trials=trials,
+        n_servers=n_servers,
+        n_vips=n_vips,
+        horizon=horizon,
+        events_per_trial=events_per_trial,
+        fixture=fixture,
+        **spec_overrides,
+    )
+    started = time.perf_counter()
+    results = run_specs(specs, workers=workers)
+    elapsed = time.perf_counter() - started
+
+    failures = []
+    artifacts = []
+    for spec, result in zip(specs, results):
+        if result["verdict"] == "pass":
+            continue
+        if shrink:
+            shrunk_spec, shrunk_result, _ = shrink_spec(
+                spec, baseline=result, max_trials=shrink_budget
+            )
+        else:
+            shrunk_spec, shrunk_result = spec, result
+        failures.append((spec, result, shrunk_spec, shrunk_result))
+        if artifacts_dir is not None:
+            os.makedirs(str(artifacts_dir), exist_ok=True)
+            path = os.path.join(
+                str(artifacts_dir), "check-seed{}.json".format(spec["seed"])
+            )
+            artifact = make_artifact(
+                shrunk_spec, shrunk_result, original_spec=spec, original_result=result
+            )
+            with open(path, "w") as handle:
+                json.dump(artifact, handle, indent=2, sort_keys=True)
+            artifacts.append(path)
+    return CampaignReport(specs, results, failures, artifacts, elapsed, workers)

@@ -1,0 +1,166 @@
+"""Disposable trial clusters and deterministic schedule application.
+
+The harness rebuilds, for each trial, the same shape of cluster the
+tests use (one LAN, ``n`` servers each running GCS + Wackamole) and
+turns a :class:`~repro.check.schedule.FaultSchedule` into scheduled
+:class:`~repro.net.fault.FaultInjector` calls. Every guard in the
+appliers depends only on simulated state, so the whole trial stays a
+pure function of (seed, schedule).
+"""
+
+from repro.core.audit import CoverageAuditor
+from repro.core.config import WackamoleConfig
+from repro.core.state import RUN
+from repro.gcs.config import SpreadConfig
+from repro.gcs.daemon import SpreadDaemon
+from repro.net.fault import FaultInjector
+from repro.net.host import Host
+from repro.net.lan import Lan
+
+from repro.check import schedule as sched
+
+
+def fast_spread_config():
+    """The test suite's aggressive timeouts (Table 1 ratios preserved)."""
+    return SpreadConfig(
+        fault_detection_timeout=0.5,
+        heartbeat_timeout=0.2,
+        discovery_timeout=0.5,
+        join_interval=0.02,
+        form_timeout=0.3,
+        install_timeout=0.3,
+    )
+
+
+class CheckCluster:
+    """One LAN of ``n`` fail-over servers, built for a single trial."""
+
+    SUBNET = "10.9.0.0/24"
+
+    def __init__(self, sim, n_servers, n_vips, daemon_cls, wack_overrides=None):
+        self.sim = sim
+        self.daemon_cls = daemon_cls
+        self.lan = Lan(sim, "check", self.SUBNET)
+        self.spread_config = fast_spread_config()
+        self.vips = ["10.9.0.{}".format(100 + i) for i in range(n_vips)]
+        overrides = {"maturity_timeout": 0.5, "balance_timeout": 1.5}
+        overrides.update(wack_overrides or {})
+        self.wconfig = WackamoleConfig.for_vips(self.vips, **overrides)
+        self.faults = FaultInjector(sim)
+        self.hosts, self.spreads, self.wacks = [], [], []
+        for index in range(n_servers):
+            host = Host(sim, "s{}".format(index))
+            host.add_nic(self.lan, "10.9.0.{}".format(10 + index))
+            spread = SpreadDaemon(host, self.lan, self.spread_config)
+            wack = daemon_cls(host, spread, self.wconfig)
+            self.hosts.append(host)
+            self.spreads.append(spread)
+            self.wacks.append(wack)
+        self.auditor = CoverageAuditor(self.wacks)
+        self.restarts = 0
+
+    def start(self, stagger=0.03):
+        """Boot every daemon with a small start stagger."""
+        for index, (spread, wack) in enumerate(zip(self.spreads, self.wacks)):
+            self.sim.after(stagger * index, spread.start)
+            self.sim.after(stagger * index + 0.01, wack.start)
+        return self
+
+    # ------------------------------------------------------------------
+    # invariant plumbing
+
+    def refresh_auditor(self):
+        """Point the auditor at the current daemon generation."""
+        self.auditor.daemons = list(self.wacks)
+        return self.auditor
+
+    def is_settled(self):
+        """Every live daemon RUN, mature, connected — and coverage exact."""
+        self.refresh_auditor()
+        live = [w for w in self.wacks if w.alive]
+        return bool(
+            live
+            and all(w.machine.state == RUN and w.mature for w in live)
+            and all(
+                w.client is not None and w.client.connected and w.view is not None
+                for w in live
+            )
+            and not self.auditor.check()
+        )
+
+    def settle(self, timeout=30.0, step=0.2):
+        """Run until :meth:`is_settled` holds (True) or timeout (False)."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            self.sim.run_for(step)
+            if self.is_settled():
+                self.sim.run_for(step)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # schedule application
+
+    def apply_schedule(self, schedule, start_time):
+        """Schedule every fault event relative to ``start_time``."""
+        for event in schedule.events:
+            self.sim.at(start_time + event.time, self._apply_event, event)
+
+    def _apply_event(self, event):
+        if event.kind == sched.NIC_FLAP:
+            host = self.hosts[event.host]
+            nic = host.nics[0]
+            if not host.alive or not nic.up:
+                return
+            self.faults.nic_down(nic)
+            self.sim.after(event.duration, self._restore_nic, nic)
+        elif event.kind == sched.CRASH:
+            host = self.hosts[event.host]
+            # Never take the cluster below two live servers: the
+            # properties under test concern surviving components.
+            if not host.alive or sum(1 for h in self.hosts if h.alive) <= 2:
+                return
+            self.faults.crash_host(host)
+            self.sim.after(event.duration, self._revive, event.host)
+        elif event.kind == sched.PARTITION:
+            group = [self.hosts[i] for i in event.split if i < len(self.hosts)]
+            if not group or len(group) == len(self.hosts):
+                return
+            self.faults.partition(self.lan, [group])
+            self.sim.after(event.duration, self.faults.heal, self.lan)
+        elif event.kind == sched.LEAVE:
+            wack = self.wacks[event.host]
+            if not wack.alive or not wack.host.alive:
+                return
+            wack.shutdown()
+            self.sim.after(event.duration, self._rejoin, event.host)
+
+    def _restore_nic(self, nic):
+        if nic.host.alive and not nic.up:
+            self.faults.nic_up(nic)
+
+    def _revive(self, index):
+        host = self.hosts[index]
+        if host.alive:
+            return
+        self.faults.recover_host(host)
+        self.restarts += 1
+        spread = SpreadDaemon(
+            host,
+            self.lan,
+            self.spread_config,
+            daemon_id="{}-r{}".format(host.name, self.restarts),
+        )
+        wack = self.daemon_cls(host, spread, self.wconfig)
+        spread.start()
+        wack.start()
+        self.spreads[index] = spread
+        self.wacks[index] = wack
+
+    def _rejoin(self, index):
+        host = self.hosts[index]
+        if not host.alive or self.wacks[index].alive:
+            return
+        wack = self.daemon_cls(host, host.spread_daemon, self.wconfig)
+        wack.start()
+        self.wacks[index] = wack

@@ -1,0 +1,165 @@
+"""Replayable fault schedules.
+
+A schedule is a list of self-contained fault events against a cluster
+of ``n`` servers, identified by host *index* so the same schedule can
+be replayed against any freshly built cluster of the same size. Every
+event carries its own healing action (a flap comes back up, a crashed
+host reboots, a partition heals, a leaver rejoins), so removing any
+subset of events — the shrinker's only operation — always leaves a
+well-formed schedule.
+
+Schedules serialize to plain JSON dicts; round-tripping through
+:meth:`FaultSchedule.to_dict` / :meth:`FaultSchedule.from_dict` is
+exact (Python floats survive JSON unchanged), which is what makes
+byte-identical replay possible.
+"""
+
+import json
+
+NIC_FLAP = "nic_flap"
+CRASH = "crash"
+PARTITION = "partition"
+LEAVE = "leave"
+
+KINDS = (NIC_FLAP, CRASH, PARTITION, LEAVE)
+
+
+class FaultEvent:
+    """One self-healing fault: kind, onset time, target, duration.
+
+    ``host`` is a server index (flap / crash / leave); ``split`` is a
+    sorted tuple of server indices forming the broken-off partition
+    group. ``duration`` is the time until the event's own healing
+    action (nic_up, recover+restart, heal, rejoin).
+    """
+
+    __slots__ = ("kind", "time", "host", "duration", "split")
+
+    def __init__(self, kind, time, host=None, duration=0.0, split=None):
+        if kind not in KINDS:
+            raise ValueError("unknown fault kind {!r}".format(kind))
+        self.kind = kind
+        self.time = float(time)
+        self.host = None if host is None else int(host)
+        self.duration = float(duration)
+        self.split = None if split is None else tuple(sorted(int(i) for i in split))
+
+    def to_dict(self):
+        data = {"kind": self.kind, "time": self.time, "duration": self.duration}
+        if self.host is not None:
+            data["host"] = self.host
+        if self.split is not None:
+            data["split"] = list(self.split)
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            data["kind"],
+            data["time"],
+            host=data.get("host"),
+            duration=data.get("duration", 0.0),
+            split=data.get("split"),
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, FaultEvent) and self.to_dict() == other.to_dict()
+
+    def __repr__(self):
+        target = self.host if self.host is not None else list(self.split or ())
+        return "FaultEvent({} t={:.3f} target={} dur={:.3f})".format(
+            self.kind, self.time, target, self.duration
+        )
+
+
+class FaultSchedule:
+    """An ordered list of fault events plus the observation horizon."""
+
+    __slots__ = ("events", "horizon")
+
+    def __init__(self, events, horizon):
+        self.events = sorted(
+            (e for e in events), key=lambda e: (e.time, e.kind, e.host or -1)
+        )
+        self.horizon = float(horizon)
+
+    def tail_time(self):
+        """Simulated time by which every healing action has fired."""
+        return max((e.time + e.duration for e in self.events), default=0.0)
+
+    def replace_events(self, events):
+        """A new schedule with the same horizon and different events."""
+        return FaultSchedule(events, self.horizon)
+
+    def to_dict(self):
+        return {
+            "horizon": self.horizon,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            [FaultEvent.from_dict(e) for e in data["events"]], data["horizon"]
+        )
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def __len__(self):
+        return len(self.events)
+
+    def __eq__(self, other):
+        return isinstance(other, FaultSchedule) and self.to_dict() == other.to_dict()
+
+    def __repr__(self):
+        return "FaultSchedule({} events, horizon={})".format(
+            len(self.events), self.horizon
+        )
+
+
+def generate_schedule(
+    rng,
+    n_hosts,
+    horizon=40.0,
+    n_events=8,
+    min_duration=3.0,
+    max_duration=10.0,
+):
+    """Draw a random schedule from ``rng`` (a ``random.Random`` stream).
+
+    The mix mirrors the chaos soak's repertoire: interface flaps are
+    the paper's §6 fault and the most common, crashes exercise
+    reboot-and-restart, partitions exercise component splits/merges,
+    and graceful leaves exercise the lightweight voluntary path. All
+    draws come from the single supplied stream, so the schedule is a
+    pure function of the stream's seed.
+    """
+    if n_hosts < 2:
+        raise ValueError("schedules need at least 2 hosts")
+    events = []
+    for _ in range(int(n_events)):
+        time = rng.uniform(0.5, max(horizon - max_duration, 1.0))
+        duration = rng.uniform(min_duration, max_duration)
+        choice = rng.random()
+        if choice < 0.35:
+            events.append(
+                FaultEvent(NIC_FLAP, time, host=rng.randrange(n_hosts), duration=duration)
+            )
+        elif choice < 0.60:
+            events.append(
+                FaultEvent(CRASH, time, host=rng.randrange(n_hosts), duration=duration)
+            )
+        elif choice < 0.85:
+            size = rng.randint(1, n_hosts - 1)
+            split = rng.sample(range(n_hosts), size)
+            events.append(FaultEvent(PARTITION, time, duration=duration, split=split))
+        else:
+            events.append(
+                FaultEvent(LEAVE, time, host=rng.randrange(n_hosts), duration=duration)
+            )
+    return FaultSchedule(events, horizon)

@@ -1,0 +1,67 @@
+"""Delta-debugging shrinker for failing fault schedules.
+
+Classic ddmin over the event list: repeatedly try to drop chunks of
+events (coarse to fine, down to single events) and keep any reduction
+that still reproduces *the same* failure — same verdict and same
+violation kinds, per :func:`repro.check.trial.result_signature`. Every
+candidate runs as a full deterministic trial with the original seed,
+so the minimized schedule fails for the same reason, not merely some
+reason.
+"""
+
+from repro.check.schedule import FaultSchedule
+from repro.check.trial import result_signature, run_trial
+
+
+def _with_events(spec, events):
+    schedule = FaultSchedule.from_dict(spec["schedule"]).replace_events(events)
+    candidate = dict(spec)
+    candidate["schedule"] = schedule.to_dict()
+    return candidate
+
+
+def shrink_spec(spec, baseline=None, max_trials=80):
+    """Minimize ``spec``'s schedule; returns (spec, result, trials_used).
+
+    ``baseline`` is the known failing result for ``spec`` (recomputed
+    when omitted). Raises ValueError if the spec does not fail. The
+    returned spec's schedule is 1-minimal up to the trial budget: no
+    single remaining event can be dropped without losing the failure.
+    """
+    if baseline is None:
+        baseline = run_trial(spec)
+    if baseline["verdict"] == "pass":
+        raise ValueError("cannot shrink a passing spec")
+    signature = result_signature(baseline)
+    events = list(FaultSchedule.from_dict(spec["schedule"]).events)
+    best_result = baseline
+    trials_used = 0
+
+    def reproduces(candidate_events):
+        nonlocal trials_used, best_result
+        trials_used += 1
+        result = run_trial(_with_events(spec, candidate_events))
+        if result_signature(result) == signature:
+            best_result = result
+            return True
+        return False
+
+    granularity = 2
+    while len(events) >= 2 and trials_used < max_trials:
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        start = 0
+        while start < len(events) and trials_used < max_trials:
+            complement = events[:start] + events[start + chunk:]
+            if complement and reproduces(complement):
+                events = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+
+    return _with_events(spec, events), best_result, trials_used

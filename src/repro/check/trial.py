@@ -1,0 +1,105 @@
+"""One campaign trial: plain dict in, plain dict out.
+
+Specs and results are JSON-compatible dicts so trials can cross
+process boundaries (``concurrent.futures``) and land in replayable
+artifacts unchanged. ``run_trial`` is a pure function of its spec:
+the simulation seed, the schedule, and every harness guard depend only
+on simulated state, never on wall-clock or process identity.
+"""
+
+from repro.check.fixtures import daemon_class
+from repro.check.harness import CheckCluster
+from repro.check.schedule import FaultSchedule
+from repro.sim.simulation import Simulation
+
+SPEC_DEFAULTS = {
+    "n_servers": 4,
+    "n_vips": 8,
+    "fixture": "standard",
+    "sample_interval": 0.25,
+    "settle_timeout": 30.0,
+    "trace_tail": 30,
+    "trace_capacity": 4096,
+}
+
+
+def make_spec(seed, schedule, **overrides):
+    """Build a trial spec dict; ``schedule`` is a FaultSchedule or dict."""
+    if isinstance(schedule, FaultSchedule):
+        schedule = schedule.to_dict()
+    spec = dict(SPEC_DEFAULTS)
+    unknown = set(overrides) - set(SPEC_DEFAULTS)
+    if unknown:
+        raise ValueError("unknown spec fields: {}".format(sorted(unknown)))
+    spec.update(overrides)
+    spec["seed"] = int(seed)
+    spec["schedule"] = schedule
+    return spec
+
+
+def run_trial(spec):
+    """Run one trial; returns a verdict dict.
+
+    Verdicts:
+
+    * ``pass`` — no invariant violation during the fault window and
+      the cluster reconverged to exact coverage afterwards.
+    * ``violation`` — the continuous view-relative Property 1 check
+      (:meth:`CoverageAuditor.check_by_view`) failed mid-run.
+    * ``no_convergence`` — Property 2 failed: the cluster never
+      settled back to clean physical coverage after all faults healed.
+    * ``setup_failed`` — the cluster never stabilized before faults
+      (indicates a harness problem, not a protocol bug).
+    """
+    schedule = FaultSchedule.from_dict(spec["schedule"])
+    sim = Simulation(
+        seed=spec["seed"], trace_enabled=True, trace_capacity=spec["trace_capacity"]
+    )
+    cluster = CheckCluster(
+        sim, spec["n_servers"], spec["n_vips"], daemon_class(spec["fixture"])
+    )
+    cluster.start()
+    if not cluster.settle(timeout=spec["settle_timeout"]):
+        return _failure(spec, sim, "setup_failed", [])
+
+    start = sim.now
+    cluster.apply_schedule(schedule, start)
+    end = start + schedule.horizon
+    interval = spec["sample_interval"]
+    while sim.now < end - 1e-9:
+        sim.run_for(min(interval, end - sim.now))
+        cluster.refresh_auditor()
+        violations = cluster.auditor.check_by_view()
+        if violations:
+            return _failure(spec, sim, "violation", violations)
+
+    # Let every event's own healing action fire, then demand convergence.
+    tail = start + schedule.tail_time() + 1.0
+    if sim.now < tail:
+        sim.run_for(tail - sim.now)
+    if not cluster.settle(timeout=spec["settle_timeout"]):
+        cluster.refresh_auditor()
+        return _failure(spec, sim, "no_convergence", cluster.auditor.check())
+    return {
+        "verdict": "pass",
+        "seed": spec["seed"],
+        "sim_time": round(sim.now, 6),
+        "events_fired": sim.scheduler.events_fired,
+        "restarts": cluster.restarts,
+    }
+
+
+def _failure(spec, sim, verdict, violations):
+    return {
+        "verdict": verdict,
+        "seed": spec["seed"],
+        "sim_time": round(sim.now, 6),
+        "violations": sorted(repr(v) for v in violations),
+        "violation_kinds": sorted({v.kind for v in violations}),
+        "trace_tail": [repr(r) for r in sim.trace.tail(spec["trace_tail"])],
+    }
+
+
+def result_signature(result):
+    """What must match for two failures to count as "the same bug"."""
+    return (result["verdict"], tuple(result.get("violation_kinds", ())))

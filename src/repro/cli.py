@@ -6,15 +6,21 @@
     python -m repro router --rip-interval 30
     python -m repro baselines
     python -m repro tuning
+    python -m repro check --trials 32 --workers 4
     python -m repro all
 
-Each subcommand prints the paper-style table(s) produced by the
-corresponding experiment class in :mod:`repro.experiments`.
+Each experiment subcommand prints the paper-style table(s) produced by
+the corresponding experiment class in :mod:`repro.experiments`;
+``check`` runs a :mod:`repro.check` fault-schedule campaign (or
+replays a saved failure artifact) and exits nonzero on violations.
 """
 
 import argparse
 import sys
 
+from repro.check.campaign import run_campaign
+from repro.check.fixtures import FIXTURES
+from repro.check.replay import replay
 from repro.experiments.availability import AvailabilityExperiment
 from repro.experiments.baselines_experiment import BaselineComparison
 from repro.experiments.figure5 import Figure5Experiment
@@ -69,6 +75,30 @@ def build_parser():
     availability.add_argument("--faults", type=int, default=1)
     availability.add_argument("--trials", type=int, default=2)
 
+    check = sub.add_parser(
+        "check", help="fault-schedule exploration campaign (repro.check)"
+    )
+    check.add_argument("--trials", type=int, default=16)
+    check.add_argument("--workers", type=int, default=1)
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--servers", type=int, default=4)
+    check.add_argument("--vips", type=int, default=8)
+    check.add_argument("--horizon", type=float, default=40.0)
+    check.add_argument("--events", type=int, default=8)
+    check.add_argument("--fixture", default="standard", choices=sorted(FIXTURES))
+    check.add_argument(
+        "--artifacts", default="check-artifacts", metavar="DIR",
+        help="directory for shrunk failure artifacts",
+    )
+    check.add_argument("--no-shrink", action="store_true")
+    check.add_argument(
+        "--replay", default=None, metavar="ARTIFACT",
+        help="replay a saved artifact instead of running a campaign",
+    )
+    check.add_argument(
+        "--repeat", type=int, default=1, help="replay the artifact N times"
+    )
+
     sub.add_parser("all", help="run every experiment in sequence")
     return parser
 
@@ -120,6 +150,31 @@ def _run_availability(args, out):
     out(experiment.format(trials=args.trials))
 
 
+def _run_check(args, out):
+    if args.replay is not None:
+        code = 0
+        for _ in range(max(args.repeat, 1)):
+            report = replay(args.replay)
+            out(report.format())
+            if not report.match:
+                code = 1
+        return code
+    report = run_campaign(
+        base_seed=args.seed,
+        trials=args.trials,
+        workers=args.workers,
+        n_servers=args.servers,
+        n_vips=args.vips,
+        horizon=args.horizon,
+        events_per_trial=args.events,
+        fixture=args.fixture,
+        shrink=not args.no_shrink,
+        artifacts_dir=args.artifacts,
+    )
+    out(report.format())
+    return 0 if report.passed else 1
+
+
 def main(argv=None, out=print):
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -132,6 +187,7 @@ def main(argv=None, out=print):
         "tuning": _run_tuning,
         "load": _run_load,
         "availability": _run_availability,
+        "check": _run_check,
     }
     if args.command == "all":
         defaults = build_parser()
@@ -143,8 +199,8 @@ def main(argv=None, out=print):
             handlers[command](defaults.parse_args([command]), out)
             out("")
         return 0
-    handlers[args.command](args, out)
-    return 0
+    code = handlers[args.command](args, out)
+    return int(code or 0)
 
 
 if __name__ == "__main__":

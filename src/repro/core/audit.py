@@ -33,20 +33,28 @@ class CoverageAuditor:
         self.daemons = list(daemons)
 
     def components(self):
-        """Maximal sets of live daemons able to communicate right now."""
-        live = [d for d in self.daemons if self._communicating(d)]
-        remaining = set(live)
+        """Maximal sets of live daemons able to communicate right now.
+
+        Fully deterministic: discovery proceeds in host-name order, so
+        the component list (and therefore violation ordering) is a
+        pure function of cluster state — required for repro.check's
+        byte-identical replay across processes.
+        """
+        remaining = sorted(
+            (d for d in self.daemons if self._communicating(d)),
+            key=lambda d: d.host.name,
+        )
         components = []
         while remaining:
-            seed = remaining.pop()
-            component = {seed}
+            seed = remaining.pop(0)
+            component = [seed]
             frontier = [seed]
             while frontier:
                 current = frontier.pop()
                 for other in list(remaining):
                     if self._connected(current, other):
-                        remaining.discard(other)
-                        component.add(other)
+                        remaining.remove(other)
+                        component.append(other)
                         frontier.append(other)
             components.append(sorted(component, key=lambda d: d.host.name))
         return components
@@ -98,8 +106,21 @@ class CoverageAuditor:
         the protocol during failure-detection windows — the paper's
         availability interruption is exactly that lag. This variant
         groups daemons by the group view they have installed; whenever
-        *all* members of a view are alive, RUN and mature, coverage
-        among them must be exact at every instant.
+        *all* members of a view are alive, RUN, mature, **and still
+        mutually connected**, coverage among them must be exact at
+        every instant.
+
+        The connectivity qualifier is load-bearing, found by a
+        repro.check campaign: a representative whose interface just
+        went dark still holds the old view for one failure-detection
+        window and can fire its balance timer inside it. Its BALANCE
+        message is delivered only by its local GCS daemon (there is no
+        uniform delivery across a partition), so it may re-acquire
+        addresses the others still hold — a transient duplicate that
+        is inherent §4.2 detection-window behaviour, not a protocol
+        bug. Views that are no longer physically intact are therefore
+        skipped; persistent duplicates inside healthy views (real
+        bugs) are still caught.
         """
         from repro.core.state import RUN
 
@@ -114,6 +135,12 @@ class CoverageAuditor:
         violations = []
         for (view_id, members), daemons in by_view.items():
             if len(daemons) != len(members):
+                continue
+            if not all(self._communicating(d) for d in daemons):
+                continue
+            if any(
+                not self._connected(daemons[0], other) for other in daemons[1:]
+            ):
                 continue
             for slot in self._slots(daemons):
                 covering = [

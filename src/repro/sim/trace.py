@@ -25,7 +25,19 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only event log with simple filtering helpers."""
+    """Append-only event log with simple filtering helpers.
+
+    Two bounded-resource behaviours are intended semantics (tests pin
+    them):
+
+    * ``capacity`` — when set, only the most recent ``capacity``
+      records are retained, oldest trimmed first; per-(category, event)
+      counters keep counting every emit, so :meth:`count` reports
+      totals over the whole run even after trimming.
+    * ``enabled=False`` — records are dropped entirely (``emit``
+      returns None) but the counters still increment: cheap soak runs
+      keep aggregate statistics without storing per-event records.
+    """
 
     def __init__(self, clock=None, enabled=True, capacity=None):
         self._clock = clock
@@ -71,6 +83,12 @@ class TraceLog:
                 continue
             out.append(record)
         return out
+
+    def tail(self, n):
+        """The most recent ``n`` records, oldest first."""
+        if n <= 0:
+            return []
+        return list(self.records[-n:])
 
     def last(self, category=None, source=None, event=None):
         """Most recent matching record, or None."""

@@ -1,0 +1,106 @@
+"""End-to-end campaigns: find the planted bug, shrink it, replay it.
+
+This is the acceptance test for the whole repro.check pipeline: a
+campaign against the deliberately broken balance variant must find an
+invariant violation, minimize the schedule to a handful of events, and
+the saved artifact must replay byte-identically — twice.
+"""
+
+import json
+import os
+
+from repro.check import build_specs, load_artifact, replay, run_campaign
+from repro.check.campaign import run_specs
+
+
+def test_planted_bug_found_shrunk_and_replayed(tmp_path):
+    report = run_campaign(
+        base_seed=1,
+        trials=3,
+        workers=1,
+        fixture="broken-balance",
+        horizon=30.0,
+        events_per_trial=6,
+        artifacts_dir=tmp_path,
+    )
+    # The campaign must find the planted bug.
+    assert not report.passed
+    assert "violation" in report.verdicts
+    assert report.failures and report.artifacts
+
+    artifact = load_artifact(report.artifacts[0])
+    # ...shrink the schedule to at most 3 fault events...
+    assert len(artifact["spec"]["schedule"]["events"]) <= 3
+    assert artifact["original_events"] == 6
+    assert artifact["result"]["verdict"] == "violation"
+    assert artifact["result"]["trace_tail"]
+
+    # ...and replay it byte-identically, twice in a row.
+    first = replay(report.artifacts[0])
+    second = replay(report.artifacts[0])
+    assert first.match and second.match
+    assert first.result == second.result
+    assert first.result["trace_tail"] == artifact["result"]["trace_tail"]
+
+
+def test_standard_fixture_campaign_is_clean(tmp_path):
+    report = run_campaign(
+        base_seed=7,
+        trials=3,
+        workers=1,
+        fixture="standard",
+        horizon=30.0,
+        events_per_trial=6,
+        artifacts_dir=tmp_path,
+    )
+    assert report.passed
+    assert report.verdicts == ["pass"] * 3
+    assert os.listdir(str(tmp_path)) == []
+
+
+def test_serial_and_parallel_verdicts_identical():
+    specs = build_specs(
+        base_seed=5, trials=4, fixture="standard", horizon=25.0, events_per_trial=5
+    )
+    serial = run_specs(specs, workers=1)
+    parallel = run_specs(specs, workers=2)
+    assert serial == parallel
+
+
+def test_specs_are_order_independent():
+    specs = build_specs(base_seed=9, trials=4, horizon=25.0, events_per_trial=5)
+    # Forked per-trial seeds: same spec regardless of batch size/order.
+    alone = build_specs(base_seed=9, trials=2, horizon=25.0, events_per_trial=5)
+    assert specs[:2] == alone
+    assert len({spec["seed"] for spec in specs}) == len(specs)
+
+
+def test_artifact_is_valid_json_on_disk(tmp_path):
+    report = run_campaign(
+        base_seed=1,
+        trials=1,
+        workers=1,
+        fixture="broken-balance",
+        horizon=30.0,
+        events_per_trial=6,
+        artifacts_dir=tmp_path,
+    )
+    with open(report.artifacts[0]) as handle:
+        raw = json.load(handle)
+    assert raw["format"] == "repro-check/1"
+    assert raw["spec"]["fixture"] == "broken-balance"
+
+
+def test_report_format_mentions_failures(tmp_path):
+    report = run_campaign(
+        base_seed=1,
+        trials=1,
+        workers=1,
+        fixture="broken-balance",
+        horizon=30.0,
+        events_per_trial=6,
+        artifacts_dir=tmp_path,
+    )
+    text = report.format()
+    assert "FAILURE" in text
+    assert "shrunk to" in text

@@ -1,0 +1,72 @@
+"""Unit tests for fault-schedule generation and serialization."""
+
+import pytest
+
+from repro.check.schedule import (
+    CRASH,
+    KINDS,
+    FaultEvent,
+    FaultSchedule,
+    generate_schedule,
+)
+from repro.sim.rng import RngRegistry
+
+
+def test_generation_is_deterministic():
+    a = generate_schedule(RngRegistry(3).stream("s"), n_hosts=4, n_events=10)
+    b = generate_schedule(RngRegistry(3).stream("s"), n_hosts=4, n_events=10)
+    assert a == b
+    assert len(a) == 10
+
+
+def test_different_seeds_give_different_schedules():
+    a = generate_schedule(RngRegistry(3).stream("s"), n_hosts=4, n_events=10)
+    b = generate_schedule(RngRegistry(4).stream("s"), n_hosts=4, n_events=10)
+    assert a != b
+
+
+def test_events_sorted_by_time_and_within_horizon():
+    schedule = generate_schedule(
+        RngRegistry(9).stream("s"), n_hosts=5, horizon=40.0, n_events=20
+    )
+    times = [event.time for event in schedule.events]
+    assert times == sorted(times)
+    assert all(0.0 < t < 40.0 for t in times)
+    assert all(event.kind in KINDS for event in schedule.events)
+
+
+def test_json_round_trip_is_exact():
+    schedule = generate_schedule(RngRegistry(5).stream("s"), n_hosts=4, n_events=12)
+    restored = FaultSchedule.from_json(schedule.to_json())
+    assert restored == schedule
+    # Floats must survive exactly — byte-identical replay depends on it.
+    assert [e.time for e in restored.events] == [e.time for e in schedule.events]
+
+
+def test_tail_time_covers_every_healing_action():
+    schedule = FaultSchedule(
+        [
+            FaultEvent(CRASH, 5.0, host=0, duration=10.0),
+            FaultEvent(CRASH, 12.0, host=1, duration=2.0),
+        ],
+        horizon=20.0,
+    )
+    assert schedule.tail_time() == 15.0
+
+
+def test_replace_events_keeps_horizon():
+    schedule = FaultSchedule([FaultEvent(CRASH, 5.0, host=0, duration=1.0)], 30.0)
+    reduced = schedule.replace_events([])
+    assert reduced.horizon == 30.0
+    assert len(reduced) == 0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultEvent("meteor", 1.0, host=0)
+
+
+def test_partition_split_normalized_sorted():
+    event = FaultEvent("partition", 1.0, duration=2.0, split=[3, 1, 2])
+    assert event.split == (1, 2, 3)
+    assert FaultEvent.from_dict(event.to_dict()) == event

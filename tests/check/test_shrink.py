@@ -1,0 +1,69 @@
+"""Shrinker: ddmin must reduce failing schedules to a 1-minimal core."""
+
+import pytest
+
+from repro.check.schedule import FaultEvent, FaultSchedule, generate_schedule
+from repro.check.shrink import shrink_spec
+from repro.check.trial import make_spec, result_signature, run_trial
+from repro.sim.rng import RngRegistry
+
+
+def broken_spec(extra_noise_events=4, seed=42):
+    """A broken-balance spec: one crash triggers the bug, plus noise."""
+    noise = generate_schedule(
+        RngRegistry(seed).stream("noise"),
+        n_hosts=3,
+        horizon=25.0,
+        n_events=extra_noise_events,
+    )
+    events = list(noise.events) + [FaultEvent("crash", 2.0, host=0, duration=4.0)]
+    return make_spec(
+        seed,
+        FaultSchedule(events, 25.0),
+        n_servers=3,
+        n_vips=4,
+        fixture="broken-balance",
+    )
+
+
+def test_shrink_reaches_single_event():
+    spec = broken_spec()
+    shrunk, result, trials = shrink_spec(spec)
+    assert result["verdict"] == "violation"
+    assert len(shrunk["schedule"]["events"]) <= 3
+    assert trials > 0
+    # The shrunk schedule still fails identically on a fresh run.
+    fresh = run_trial(shrunk)
+    assert fresh == result
+
+
+def test_shrunk_schedule_is_one_minimal():
+    spec = broken_spec(extra_noise_events=3)
+    shrunk, result, _ = shrink_spec(spec)
+    events = [
+        FaultEvent.from_dict(e) for e in shrunk["schedule"]["events"]
+    ]
+    schedule = FaultSchedule.from_dict(shrunk["schedule"])
+    for index in range(len(events)):
+        reduced = dict(shrunk)
+        reduced["schedule"] = schedule.replace_events(
+            events[:index] + events[index + 1:]
+        ).to_dict()
+        assert (
+            result_signature(run_trial(reduced)) != result_signature(result)
+            or len(events) == 1
+        )
+
+
+def test_shrink_refuses_passing_spec():
+    spec = make_spec(
+        1, FaultSchedule([], 10.0), n_servers=3, n_vips=4, fixture="standard"
+    )
+    with pytest.raises(ValueError):
+        shrink_spec(spec)
+
+
+def test_shrink_respects_trial_budget():
+    spec = broken_spec(extra_noise_events=6)
+    _, _, trials = shrink_spec(spec, max_trials=5)
+    assert trials <= 5

@@ -1,0 +1,72 @@
+"""Trial runner: verdicts are deterministic functions of the spec."""
+
+import pytest
+
+from repro.check.schedule import FaultEvent, FaultSchedule, generate_schedule
+from repro.check.trial import make_spec, result_signature, run_trial
+from repro.sim.rng import RngRegistry
+
+
+def small_spec(seed=42, fixture="standard", events=None, horizon=20.0):
+    if events is None:
+        schedule = generate_schedule(
+            RngRegistry(seed).stream("schedule"), n_hosts=3, horizon=horizon, n_events=4
+        )
+    else:
+        schedule = FaultSchedule(events, horizon)
+    return make_spec(seed, schedule, n_servers=3, n_vips=4, fixture=fixture)
+
+
+def test_empty_schedule_passes():
+    spec = small_spec(events=[])
+    result = run_trial(spec)
+    assert result["verdict"] == "pass"
+    assert result["events_fired"] > 0
+
+
+def test_standard_daemon_survives_random_schedule():
+    result = run_trial(small_spec(seed=77))
+    assert result["verdict"] == "pass"
+
+
+def test_trial_is_deterministic():
+    spec = small_spec(seed=123)
+    assert run_trial(spec) == run_trial(spec)
+
+
+def test_single_crash_recovers_cleanly():
+    spec = small_spec(events=[FaultEvent("crash", 2.0, host=0, duration=4.0)])
+    result = run_trial(spec)
+    assert result["verdict"] == "pass"
+    assert result["restarts"] == 1
+
+
+def test_broken_balance_fixture_fails_after_one_crash():
+    spec = small_spec(
+        fixture="broken-balance",
+        events=[FaultEvent("crash", 2.0, host=0, duration=4.0)],
+    )
+    result = run_trial(spec)
+    assert result["verdict"] == "violation"
+    assert result["violation_kinds"] == ["duplicate"]
+    assert result["violations"]
+    assert result["trace_tail"]
+
+
+def test_failure_results_carry_signature():
+    spec = small_spec(
+        fixture="broken-balance",
+        events=[FaultEvent("crash", 2.0, host=0, duration=4.0)],
+    )
+    result = run_trial(spec)
+    assert result_signature(result) == ("violation", ("duplicate",))
+
+
+def test_unknown_fixture_rejected():
+    with pytest.raises(ValueError):
+        run_trial(small_spec(fixture="nonexistent", events=[]))
+
+
+def test_unknown_spec_field_rejected():
+    with pytest.raises(ValueError):
+        make_spec(1, FaultSchedule([], 10.0), bogus_field=1)

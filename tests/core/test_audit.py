@@ -70,6 +70,109 @@ def test_duplicate_coverage_helper():
     assert len(duplicates[vip]) == 2
 
 
+def test_zero_live_daemons_yields_no_components_or_violations():
+    cluster = build_wack_cluster(3)
+    assert settle_wack(cluster)
+    for host in cluster.hosts:
+        cluster.faults.crash_host(host)
+    assert cluster.auditor.components() == []
+    # No components -> nothing to audit; a dead cluster is not a
+    # Property 1 violation (there is no RUN component to cover VIPs).
+    assert cluster.auditor.check() == []
+    assert cluster.auditor.check_by_view() == []
+    assert cluster.auditor.duplicate_coverage() == {}
+
+
+def test_fully_partitioned_singletons_each_cover_everything():
+    cluster = build_wack_cluster(3, n_vips=4)
+    assert settle_wack(cluster)
+    cluster.faults.partition(cluster.lan, [[h] for h in cluster.hosts])
+    components = cluster.auditor.components()
+    assert sorted(len(c) for c in components) == [1, 1, 1]
+    # After stabilization every singleton component must have taken
+    # over the complete VIP set itself — audited per component.
+    cluster.sim.run_for(10.0)
+    assert cluster.auditor.check() == []
+    for component in cluster.auditor.components():
+        daemon = component[0]
+        assert all(
+            daemon.host.owns_ip(a)
+            for slot in cluster.wconfig.slot_ids()
+            for a in daemon.config.group(slot).addresses
+        )
+
+
+def test_double_coverage_inside_one_partition_component():
+    cluster = build_wack_cluster(4, n_vips=4)
+    assert settle_wack(cluster)
+    cluster.faults.partition(cluster.lan, [cluster.hosts[:2]])
+    cluster.sim.run_for(10.0)
+    assert cluster.auditor.check() == []
+    vip = cluster.wconfig.slot_ids()[0]
+    # Bind the same VIP on both members of the two-server component.
+    for wack in cluster.wacks[:2]:
+        wack.host.nics[0].bind_ip(vip)
+    violations = [v for v in cluster.auditor.check() if v.kind == "duplicate"]
+    assert len(violations) == 1
+    assert set(violations[0].covering) == {"node0", "node1"}
+    # The other component is untouched and must not be reported.
+    assert all(set(v.component) <= {"node0", "node1"} for v in violations)
+
+
+def test_vip_covered_in_one_component_but_not_another():
+    cluster = build_wack_cluster(4, n_vips=4)
+    assert settle_wack(cluster)
+    cluster.faults.partition(cluster.lan, [cluster.hosts[:1]])
+    cluster.sim.run_for(10.0)
+    assert cluster.auditor.check() == []
+    vip = cluster.wconfig.slot_ids()[0]
+    # Poke a hole in the three-server component only; the singleton
+    # still covers the VIP, which must not mask the other side's hole.
+    trio = [w for w in cluster.wacks[1:] if w.iface.owns(vip)]
+    assert trio
+    trio[0].host.nics[0].unbind_ip(vip)
+    violations = cluster.auditor.check()
+    uncovered = [v for v in violations if v.kind == "uncovered" and v.slot == vip]
+    assert len(uncovered) == 1
+    assert set(uncovered[0].component) == {"node1", "node2", "node3"}
+
+
+def test_check_by_view_skips_physically_stale_views():
+    """Regression for a repro.check campaign finding.
+
+    Inside the failure-detection window after an interface drop, every
+    daemon still has the old view installed, and the disconnected
+    member can (via a locally delivered BALANCE) bind addresses that
+    others hold. That transient duplicate is inherent §4.2 behaviour,
+    so the view-relative oracle must skip views that are no longer
+    physically intact — and still report duplicates in healthy views.
+    """
+    cluster = build_wack_cluster(3, n_vips=3)
+    assert settle_wack(cluster)
+    vip = cluster.wconfig.slot_ids()[0]
+    victim = next(w for w in cluster.wacks if not w.iface.owns(vip))
+    cluster.faults.nic_down(victim.host.nics[0])
+    # No simulated time passes: all three daemons still share the old
+    # view, alive + RUN + mature, but the victim is dark.
+    victim.host.nics[0].bind_ip(vip)
+    assert cluster.auditor.check_by_view() == []
+    # The same duplicate inside a physically intact view IS a bug.
+    cluster.faults.nic_up(victim.host.nics[0])
+    violations = cluster.auditor.check_by_view()
+    assert any(v.kind == "duplicate" and v.slot == vip for v in violations)
+
+
+def test_components_are_deterministically_ordered():
+    cluster = build_wack_cluster(4)
+    assert settle_wack(cluster)
+    cluster.faults.partition(cluster.lan, [cluster.hosts[2:]])
+    first = [[d.host.name for d in c] for c in cluster.auditor.components()]
+    second = [[d.host.name for d in c] for c in cluster.auditor.components()]
+    assert first == second
+    # Host-name order within and across components (replay relies on it).
+    assert first == [["node0", "node1"], ["node2", "node3"]]
+
+
 def test_gathering_components_not_audited():
     cluster = build_wack_cluster(3)
     assert settle_wack(cluster)

@@ -64,6 +64,48 @@ def test_capacity_bounds_memory():
     assert log.records[-1].details["i"] == 9
 
 
+def test_capacity_trims_oldest_and_preserves_order():
+    """Intended capacity semantics: keep exactly the newest N, in order."""
+    log = TraceLog(clock=lambda: 0.0, capacity=4)
+    for index in range(9):
+        log.emit("a", "x", "e", i=index)
+    assert [r.details["i"] for r in log.records] == [5, 6, 7, 8]
+
+
+def test_counts_survive_capacity_trimming():
+    """Counters report whole-run totals even after records are trimmed."""
+    log = TraceLog(clock=lambda: 0.0, capacity=2)
+    for _ in range(7):
+        log.emit("a", "x", "e")
+    assert len(log.records) == 2
+    assert log.count("a", "e") == 7
+    assert log.count("a") == 7
+
+
+def test_tail_returns_newest_first_to_last():
+    log, _ = make_log()
+    for index in range(6):
+        log.emit("a", "x", "e", i=index)
+    assert [r.details["i"] for r in log.tail(3)] == [3, 4, 5]
+    assert log.tail(0) == []
+    assert len(log.tail(100)) == 6
+
+
+def test_disabled_emit_returns_none_but_counts():
+    """Intended disabled semantics: drop records, keep counting."""
+    log, _ = make_log()
+    log.enabled = False
+    assert log.emit("a", "x", "e") is None
+    assert log.records == []
+    assert log.count("a", "e") == 1
+    # Re-enabling resumes recording without losing the earlier counts.
+    log.enabled = True
+    record = log.emit("a", "x", "e")
+    assert record is not None
+    assert log.count("a", "e") == 2
+    assert len(log.records) == 1
+
+
 def test_clear_resets_everything():
     log, _ = make_log()
     log.emit("a", "x", "e")

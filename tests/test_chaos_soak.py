@@ -97,6 +97,8 @@ class ChaosMonkey:
 
 import pytest
 
+pytestmark = pytest.mark.soak
+
 
 @pytest.mark.parametrize("representative", [False, True],
                          ids=["distributed", "representative"])

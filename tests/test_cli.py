@@ -48,6 +48,34 @@ def test_router_command():
     assert "naive" in output and "advertise_all" in output
 
 
+def test_check_command_clean_campaign(tmp_path):
+    code, output = run_cli(
+        [
+            "check", "--trials", "2", "--workers", "1", "--seed", "7",
+            "--servers", "3", "--vips", "4", "--horizon", "20",
+            "--events", "4", "--artifacts", str(tmp_path),
+        ]
+    )
+    assert code == 0
+    assert "all trials passed" in output
+
+
+def test_check_command_planted_bug_fails_and_replays(tmp_path):
+    code, output = run_cli(
+        [
+            "check", "--trials", "1", "--workers", "1", "--seed", "1",
+            "--horizon", "30", "--events", "6",
+            "--fixture", "broken-balance", "--artifacts", str(tmp_path),
+        ]
+    )
+    assert code == 1
+    assert "FAILURE" in output
+    artifact = output.split("artifact: ")[1].splitlines()[0].strip()
+    code, output = run_cli(["check", "--replay", artifact, "--repeat", "2"])
+    assert code == 0
+    assert output.count("identical reproduction") == 2
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])

@@ -12,12 +12,17 @@ system quiesce; then:
   bindings by the auditor).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from helpers import build_wack_cluster, settle_wack
 
 from repro.core.state import RUN
+
+# Whole-cluster Hypothesis searches are the suite's longest tests;
+# tier 1 deselects them, the CI soak job runs them.
+pytestmark = pytest.mark.slow
 
 CLUSTER_SIZE = 4
 

@@ -6,10 +6,15 @@ the holes, and every procedure is a pure function of (table,
 membership order, preferences). Hypothesis searches for violations.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.balance import compute_balanced_allocation
+
+# The heaviest Hypothesis searches in the suite; tier 1 deselects them
+# (see pyproject addopts), the CI soak job runs them.
+pytestmark = pytest.mark.slow
 from repro.core.conflict import resolve_claim
 from repro.core.reallocate import reallocate_ips
 from repro.core.table import AllocationTable
