@@ -1,0 +1,27 @@
+"""Static analysis for determinism and protocol invariants.
+
+The whole reproduction rests on byte-identical deterministic replay
+(:mod:`repro.check`), so nondeterminism sources — wall clocks, unseeded
+randomness, unordered iteration that escapes into traces or messages,
+id()/hash() tie-breaks, real threads — must be caught at lint time,
+not after thousands of fault-schedule trials. ``repro lint`` runs the
+rule set in :mod:`repro.analysis.rules` over the tree, honouring
+per-line ``# repro: allow <rule>`` suppressions and a committed
+baseline file so pre-existing findings never block CI.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintConfig, Linter, LintResult, ProtocolSpec
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules, get_rule
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Linter",
+    "ProtocolSpec",
+    "all_rules",
+    "get_rule",
+]

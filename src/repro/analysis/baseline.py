@@ -1,0 +1,61 @@
+"""The committed findings baseline.
+
+A baseline freezes the set of findings that existed when a rule was
+introduced, so tightening the linter never blocks CI on pre-existing
+code: only *new* findings fail the run. The file is plain sorted JSON
+(stable under re-generation) and lives at the repo root as
+``lint-baseline.json``.
+"""
+
+import json
+import os
+
+BASELINE_FORMAT = "repro-lint-baseline/1"
+
+
+class Baseline:
+    """A set of fingerprinted findings to ignore."""
+
+    def __init__(self, entries=None):
+        # fingerprint -> descriptive entry (rule/path/snippet, for humans)
+        self.entries = dict(entries or {})
+
+    def __contains__(self, fp):
+        return fp in self.entries
+
+    def __len__(self):
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path):
+        """Load a baseline file; a missing file is an empty baseline."""
+        if path is None or not os.path.exists(str(path)):
+            return cls()
+        with open(str(path)) as handle:
+            data = json.load(handle)
+        if data.get("format") != BASELINE_FORMAT:
+            raise ValueError(
+                "unrecognised baseline format {!r} in {}".format(
+                    data.get("format"), path
+                )
+            )
+        return cls(data.get("findings", {}))
+
+    @classmethod
+    def from_findings(cls, fingerprinted):
+        """Build a baseline covering ``[(finding, fingerprint)]``."""
+        entries = {}
+        for finding, fp in fingerprinted:
+            entries[fp] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": finding.snippet.strip(),
+            }
+        return cls(entries)
+
+    def save(self, path):
+        """Write deterministically (sorted keys, fixed layout)."""
+        data = {"format": BASELINE_FORMAT, "findings": self.entries}
+        with open(str(path), "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")

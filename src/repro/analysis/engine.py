@@ -1,0 +1,262 @@
+"""The lint engine: file collection, parsing, rule dispatch, filtering.
+
+The engine is deliberately free of wall-clock state: given the same
+tree, the same configuration, and the same baseline, two runs produce
+byte-identical reports (a property :mod:`tests.analysis` asserts),
+mirroring the replay guarantee the linted code itself must uphold.
+"""
+
+import ast
+import os
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, assign_fingerprints
+from repro.analysis.registry import all_rules
+from repro.analysis.suppress import is_suppressed, parse_suppressions
+
+
+class ProtocolSpec:
+    """One exhaustiveness obligation: a messages module and its dispatchers.
+
+    ``messages`` and each dispatcher are path *suffixes* (posix style);
+    the engine matches them against linted files, and resolves
+    dispatcher files that were not part of the lint run from disk,
+    relative to the matched messages module.
+    """
+
+    __slots__ = ("messages", "dispatchers")
+
+    def __init__(self, messages, dispatchers):
+        self.messages = messages
+        self.dispatchers = tuple(dispatchers)
+
+    def __repr__(self):
+        return "ProtocolSpec({} -> {})".format(self.messages, list(self.dispatchers))
+
+
+DEFAULT_PROTOCOLS = (
+    ProtocolSpec(
+        "repro/gcs/messages.py",
+        ["repro/gcs/daemon.py", "repro/core/control.py"],
+    ),
+    ProtocolSpec(
+        "repro/core/messages.py",
+        ["repro/core/daemon.py", "repro/core/control.py"],
+    ),
+)
+
+# The simulated substrate: everything here must stay single-threaded
+# and virtual-time, so SIM001 forbids real concurrency and sockets.
+DEFAULT_SIM_RESTRICTED = (
+    "repro/core",
+    "repro/gcs",
+    "repro/sim",
+    "repro/net",
+)
+
+# Files allowed to read real clocks / own the randomness primitives.
+DEFAULT_WALLCLOCK_EXEMPT = ("repro/sim/scheduler.py",)
+DEFAULT_RANDOM_EXEMPT = ("repro/sim/rng.py",)
+
+
+class LintConfig:
+    """Per-run knobs; defaults encode this repository's layout."""
+
+    __slots__ = ("protocols", "sim_restricted", "wallclock_exempt", "random_exempt")
+
+    def __init__(
+        self,
+        protocols=DEFAULT_PROTOCOLS,
+        sim_restricted=DEFAULT_SIM_RESTRICTED,
+        wallclock_exempt=DEFAULT_WALLCLOCK_EXEMPT,
+        random_exempt=DEFAULT_RANDOM_EXEMPT,
+    ):
+        self.protocols = tuple(protocols)
+        self.sim_restricted = tuple(sim_restricted)
+        self.wallclock_exempt = tuple(wallclock_exempt)
+        self.random_exempt = tuple(random_exempt)
+
+
+def path_matches(path, suffix):
+    """Posix suffix match on whole path segments."""
+    path = path.replace(os.sep, "/")
+    suffix = suffix.rstrip("/")
+    return path == suffix or path.endswith("/" + suffix)
+
+
+def path_in_dir(path, prefix):
+    """True when ``path`` lies under a directory ending in ``prefix``."""
+    path = path.replace(os.sep, "/")
+    prefix = prefix.strip("/")
+    return path.startswith(prefix + "/") or "/{}/".format(prefix) in path
+
+
+class ModuleContext:
+    """One parsed source file plus its suppression table."""
+
+    __slots__ = ("path", "source", "lines", "tree", "suppressions")
+
+    def __init__(self, path, source, tree):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.suppressions = parse_suppressions(self.lines)
+
+    def line_text(self, number):
+        """The 1-based source line, or '' when out of range."""
+        if 1 <= number <= len(self.lines):
+            return self.lines[number - 1]
+        return ""
+
+    def finding(self, rule, node_or_line, message):
+        """Build a Finding anchored at an AST node or a line number."""
+        if isinstance(node_or_line, int):
+            line, col = node_or_line, 0
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0)
+        return Finding(rule, self.path, line, col, message, self.line_text(line))
+
+
+class ProjectContext:
+    """All modules of one run, for cross-file rules."""
+
+    __slots__ = ("modules",)
+
+    def __init__(self, modules):
+        self.modules = list(modules)
+
+    def find(self, suffix):
+        """The first module whose path matches ``suffix``, or None."""
+        for module in self.modules:
+            if path_matches(module.path, suffix):
+                return module
+        return None
+
+
+class LintResult:
+    """The outcome of one lint run."""
+
+    __slots__ = (
+        "findings",
+        "suppressed",
+        "baselined",
+        "files",
+        "rules",
+        "parse_errors",
+    )
+
+    def __init__(self, findings, suppressed, baselined, files, rules, parse_errors):
+        self.findings = findings
+        self.suppressed = suppressed
+        self.baselined = baselined
+        self.files = files
+        self.rules = rules
+        self.parse_errors = parse_errors
+
+    @property
+    def ok(self):
+        return not self.findings and not self.parse_errors
+
+
+def collect_files(paths):
+    """Expand files/directories into a sorted, de-duplicated .py list.
+
+    Paths under the current working directory are relativized, so the
+    report (and every baseline fingerprint) reads the same whether the
+    target was spelled absolutely or relatively.
+    """
+    found = []
+    for path in paths:
+        path = str(path)
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            found.append(path)
+    cwd = os.getcwd()
+    normalized = []
+    for path in found:
+        path = os.path.normpath(os.path.abspath(path))
+        if path.startswith(cwd + os.sep):
+            path = os.path.relpath(path, cwd)
+        normalized.append(path)
+    return [p.replace(os.sep, "/") for p in sorted(set(normalized))]
+
+
+class Linter:
+    """Run every registered rule over a set of files."""
+
+    def __init__(self, config=None, rules=None):
+        self.config = config or LintConfig()
+        self.rules = list(rules) if rules is not None else all_rules()
+
+    def run(self, paths, baseline=None):
+        """Lint ``paths``; returns a :class:`LintResult`."""
+        baseline = baseline or Baseline()
+        modules = []
+        parse_errors = []
+        files = collect_files(paths)
+        for path in files:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                parse_errors.append(
+                    Finding(
+                        "PARSE",
+                        path,
+                        exc.lineno or 1,
+                        (exc.offset or 1) - 1,
+                        "syntax error: {}".format(exc.msg),
+                    )
+                )
+                continue
+            modules.append(ModuleContext(path, source, tree))
+
+        raw = []
+        project = ProjectContext(modules)
+        for rule in self.rules:
+            for module in modules:
+                raw.extend(rule.check_module(module, self.config))
+            raw.extend(rule.check_project(project, self.config))
+
+        by_path = {module.path: module for module in modules}
+        unsuppressed = []
+        suppressed = []
+        for finding in raw:
+            module = by_path.get(finding.path)
+            if module is not None and is_suppressed(
+                module.suppressions, finding.line, finding.rule
+            ):
+                suppressed.append(finding)
+            else:
+                unsuppressed.append(finding)
+
+        new = []
+        baselined = []
+        for finding, fp in assign_fingerprints(unsuppressed):
+            if fp in baseline:
+                baselined.append(finding)
+            else:
+                new.append(finding)
+
+        new.sort(key=Finding.sort_key)
+        suppressed.sort(key=Finding.sort_key)
+        baselined.sort(key=Finding.sort_key)
+        parse_errors.sort(key=Finding.sort_key)
+        return LintResult(
+            new,
+            suppressed,
+            baselined,
+            files,
+            [rule.code for rule in self.rules],
+            parse_errors,
+        )

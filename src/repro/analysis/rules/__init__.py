@@ -1,0 +1,10 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.analysis.rules import (  # noqa: F401
+    det001_wallclock,
+    det002_random,
+    det003_unordered,
+    det004_idhash,
+    proto001_dispatch,
+    sim001_substrate,
+)

@@ -1,0 +1,97 @@
+"""DET001 — wall-clock reads outside the simulation clock.
+
+Simulated components must take time from ``sim.now`` (virtual time);
+any real-clock read makes traces, timeouts, and therefore replay
+verdicts depend on host speed. Only :mod:`repro.sim.scheduler` (and
+explicitly allowed reporting lines) may touch the real clock.
+"""
+
+import ast
+
+from repro.analysis.engine import path_matches
+from repro.analysis.registry import Rule, register
+
+_TIME_FUNCS = {"time", "monotonic", "perf_counter", "process_time", "time_ns"}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+@register
+class WallClockRule(Rule):
+    code = "DET001"
+    name = "wall-clock"
+    description = (
+        "real-clock read (time.time / time.monotonic / datetime.now ...) "
+        "outside the simulation scheduler"
+    )
+
+    def check_module(self, module, config):
+        for exempt in config.wallclock_exempt:
+            if path_matches(module.path, exempt):
+                return
+        imported_time_names = set()
+        imported_datetime_names = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    imported_time_names.update(
+                        alias.asname or alias.name
+                        for alias in node.names
+                        if alias.name in _TIME_FUNCS
+                    )
+                elif node.module == "datetime":
+                    imported_datetime_names.update(
+                        alias.asname or alias.name
+                        for alias in node.names
+                        if alias.name in ("datetime", "date")
+                    )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "time"
+                    and func.attr in _TIME_FUNCS
+                ):
+                    yield module.finding(
+                        self.code,
+                        node,
+                        "wall-clock read time.{}(); use the simulation clock "
+                        "(sim.now) instead".format(func.attr),
+                    )
+                elif func.attr in _DATETIME_FUNCS and self._is_datetime(
+                    base, imported_datetime_names
+                ):
+                    yield module.finding(
+                        self.code,
+                        node,
+                        "wall-clock read {}.{}(); simulated code must not "
+                        "observe the real date".format(self._dotted(base), func.attr),
+                    )
+            elif isinstance(func, ast.Name) and func.id in imported_time_names:
+                yield module.finding(
+                    self.code,
+                    node,
+                    "wall-clock read {}(); use the simulation clock "
+                    "(sim.now) instead".format(func.id),
+                )
+
+    @staticmethod
+    def _is_datetime(base, imported_names):
+        # datetime.now() with `from datetime import datetime`, or
+        # datetime.datetime.now() with `import datetime`.
+        if isinstance(base, ast.Name):
+            return base.id in imported_names or base.id == "datetime"
+        if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+            return base.value.id == "datetime" and base.attr in ("datetime", "date")
+        return False
+
+    @staticmethod
+    def _dotted(base):
+        if isinstance(base, ast.Name):
+            return base.id
+        if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+            return "{}.{}".format(base.value.id, base.attr)
+        return "datetime"

@@ -1,0 +1,62 @@
+"""DET002 — unseeded randomness outside the RNG registry.
+
+All randomness must flow through :class:`repro.sim.rng.RngRegistry`
+named streams so that every draw is a pure function of (seed, stream
+name). A stray ``import random`` (module-level Mersenne state, seeded
+from the OS) breaks replay across processes and runs.
+"""
+
+import ast
+
+from repro.analysis.engine import path_matches
+from repro.analysis.registry import Rule, register
+
+
+@register
+class UnseededRandomRule(Rule):
+    code = "DET002"
+    name = "unseeded-random"
+    description = (
+        "use of the global `random` module outside repro.sim.rng; draw from "
+        "a named RngRegistry stream instead"
+    )
+
+    def check_module(self, module, config):
+        for exempt in config.random_exempt:
+            if path_matches(module.path, exempt):
+                return
+        random_aliases = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        random_aliases.add(alias.asname or alias.name.split(".")[0])
+                        yield module.finding(
+                            self.code,
+                            node,
+                            "import of the global `random` module; use an "
+                            "RngRegistry stream (sim.rng) instead",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                # `from random import Random` for *seeded* instances is the
+                # registry's own business; anything else smuggles global state.
+                names = [alias.name for alias in node.names]
+                if names != ["Random"]:
+                    yield module.finding(
+                        self.code,
+                        node,
+                        "from random import {}; only seeded Random instances "
+                        "via RngRegistry are deterministic".format(", ".join(names)),
+                    )
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in random_aliases
+            ):
+                yield module.finding(
+                    self.code,
+                    node,
+                    "call into the global `random` module (random.{}); draws "
+                    "must come from a named RngRegistry stream".format(node.attr),
+                )

@@ -1,0 +1,226 @@
+"""DET003 — unordered iteration whose order escapes.
+
+Iterating a ``set``/``frozenset`` (order depends on the interpreter's
+hash randomisation and insertion history) or a dict's ``.values()`` /
+``.items()`` (order depends on key insertion, which in protocol code is
+usually message-arrival order) is fine while the consumer is
+order-insensitive — but the moment that order escapes into a list, a
+trace, a wire message, or a protocol decision, replay is no longer a
+pure function of the fault schedule. The fix is always the same:
+iterate ``sorted(...)`` over a canonical key.
+
+What the rule flags:
+
+* set-like expressions in ordered conversions — ``list(s)``,
+  ``tuple(s)``, ``enumerate(s)``, ``reversed(s)``, ``sep.join(s)``,
+  list comprehensions;
+* ``for`` statements over set-like expressions or dict
+  ``.values()``/``.items()`` whose body *accumulates in order*
+  (``.append``/``.extend``/``.insert``/``.update``/``.setdefault``,
+  ``yield``, or a trace/broadcast/send-style call);
+* dict ``.values()`` in ordered conversions.
+
+Deliberately *not* flagged: plain dict (key) iteration and ``.items()``
+comprehensions — the codebase's canonical-key dicts (slot tables built
+from configuration order) are deterministic by construction, and
+flagging them would bury the real arrival-ordered offenders.
+"""
+
+import ast
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.settypes import DICT_KIND, SET_KIND, KindResolver, class_attr_kinds
+
+_ORDERED_CONVERSIONS = {"list", "tuple", "enumerate", "reversed", "iter", "next"}
+_ORDER_INSENSITIVE = {
+    "sorted",
+    "min",
+    "max",
+    "sum",
+    "len",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+    "dict",
+    "zip",
+}
+_ACCUMULATORS = {"append", "extend", "insert", "update", "setdefault"}
+_EMITTERS = {
+    "trace",
+    "broadcast",
+    "unicast",
+    "multicast",
+    "send",
+    "send_udp",
+    "submit",
+    "deliver",
+    "announce",
+}
+
+
+@register
+class UnorderedIterationRule(Rule):
+    code = "DET003"
+    name = "unordered-iteration"
+    description = (
+        "iteration over a set / dict values in a context where the "
+        "(nondeterministic or arrival-dependent) order escapes; wrap the "
+        "iterable in sorted(...)"
+    )
+
+    def check_module(self, module, config):
+        parents = {}
+        for parent in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for func, attr_kinds in _scopes(module.tree):
+            resolver = KindResolver(func, attr_kinds)
+            for finding in self._check_scope(module, func, resolver, parents):
+                yield finding
+
+    # ------------------------------------------------------------------
+
+    def _check_scope(self, module, scope, resolver, parents):
+        for node in _scope_nodes(scope):
+            if isinstance(node, ast.For):
+                kind = self._iterable_kind(node.iter, resolver, statement=True)
+                if kind is not None and _body_escapes(node):
+                    yield module.finding(
+                        self.code,
+                        node,
+                        "for-loop over {} feeds an ordered accumulation; "
+                        "iterate sorted(...) instead".format(kind),
+                    )
+            elif isinstance(node, ast.Call):
+                for finding in self._check_call(module, node, resolver):
+                    yield finding
+            elif isinstance(node, ast.ListComp):
+                for generator in node.generators:
+                    kind = self._iterable_kind(generator.iter, resolver)
+                    if kind is not None:
+                        yield module.finding(
+                            self.code,
+                            generator.iter,
+                            "list comprehension over {} captures an "
+                            "unstable order; iterate sorted(...) instead".format(kind),
+                        )
+            elif isinstance(node, ast.GeneratorExp):
+                consumer = _consumer_name(node, parents)
+                if consumer is None or consumer in _ORDER_INSENSITIVE:
+                    continue
+                for generator in node.generators:
+                    kind = self._iterable_kind(generator.iter, resolver)
+                    if kind is not None:
+                        yield module.finding(
+                            self.code,
+                            generator.iter,
+                            "generator over {} flows into {}() which keeps "
+                            "its order; iterate sorted(...) instead".format(
+                                kind, consumer
+                            ),
+                        )
+
+    def _check_call(self, module, node, resolver):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in _ORDERED_CONVERSIONS:
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            name = "join"
+        if name is None or not node.args:
+            return
+        kind = self._iterable_kind(node.args[0], resolver)
+        if kind is not None:
+            yield module.finding(
+                self.code,
+                node,
+                "{}() over {} captures an unstable order; wrap the "
+                "iterable in sorted(...)".format(name, kind),
+            )
+
+    def _iterable_kind(self, iterable, resolver, statement=False):
+        """'a set'/'dict values'/'dict items' when order is unstable.
+
+        ``.items()`` only counts in ``for`` statements (``statement``):
+        items-comprehensions over canonical-key dicts (the slot-table
+        idiom) are deterministic by construction, while an ``.items()``
+        loop that accumulates is usually walking an arrival-ordered map.
+        """
+        kind = resolver.kind_of(iterable)
+        if kind == SET_KIND:
+            return "a set"
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr in ("values", "items")
+            and not iterable.args
+        ):
+            if iterable.func.attr == "items" and not statement:
+                return None
+            base_kind = resolver.kind_of(iterable.func.value)
+            if base_kind == DICT_KIND:
+                return "dict {}".format(iterable.func.attr)
+        return None
+
+
+def _scopes(tree):
+    """Yield (scope node, attribute kinds) for module, functions, methods."""
+    yield tree, {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            attr_kinds = class_attr_kinds(node)
+            for item in ast.walk(node):
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item, attr_kinds
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _inside_class(tree, node):
+                yield node, {}
+
+
+def _inside_class(tree, func):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for item in ast.walk(node):
+                if item is func:
+                    return True
+    return False
+
+
+def _scope_nodes(scope):
+    """Walk a scope without descending into nested functions/classes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _body_escapes(for_node):
+    """True when the loop body accumulates or emits in iteration order."""
+    for stmt in for_node.body + for_node.orelse:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _ACCUMULATORS or node.func.attr in _EMITTERS:
+                    return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in _EMITTERS:
+                    return True
+    return False
+
+
+def _consumer_name(genexp, parents):
+    """The callable a bare generator expression is passed to, if any."""
+    parent = parents.get(genexp)
+    if not isinstance(parent, ast.Call):
+        return None
+    func = parent.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None

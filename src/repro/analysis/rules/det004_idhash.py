@@ -1,0 +1,86 @@
+"""DET004 — id()/hash() in ordering keys and tie-breaks.
+
+``id()`` is an address (different every process), and ``hash()`` of
+str/bytes is randomised per interpreter unless PYTHONHASHSEED is
+pinned. Either one inside a sort key or a comparison tie-break makes
+orderings differ across processes — exactly the
+``CoverageAuditor.components()`` bug PR 1 needed thousands of trials to
+surface. Order by a stable attribute (name, sequence number) instead.
+"""
+
+import ast
+
+from repro.analysis.registry import Rule, register
+
+_SORT_CALLS = {"sorted", "min", "max"}
+_UNSTABLE = {"id", "hash"}
+
+
+@register
+class IdHashOrderingRule(Rule):
+    code = "DET004"
+    name = "id-hash-ordering"
+    description = (
+        "id()/hash() used as (or inside) a sort key or an ordering "
+        "comparison; use a stable attribute instead"
+    )
+
+    def check_module(self, module, config):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                for finding in self._check_sort_call(module, node):
+                    yield finding
+            elif isinstance(node, ast.Compare):
+                for finding in self._check_compare(module, node):
+                    yield finding
+
+    def _check_sort_call(self, module, node):
+        func = node.func
+        is_sortish = (
+            isinstance(func, ast.Name) and func.id in _SORT_CALLS
+        ) or (isinstance(func, ast.Attribute) and func.attr == "sort")
+        if not is_sortish:
+            return
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            key = keyword.value
+            if isinstance(key, ast.Name) and key.id in _UNSTABLE:
+                yield module.finding(
+                    self.code,
+                    key,
+                    "key={} orders by a per-process value; sort by a "
+                    "stable attribute instead".format(key.id),
+                )
+                continue
+            for inner in ast.walk(key):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id in _UNSTABLE
+                ):
+                    yield module.finding(
+                        self.code,
+                        inner,
+                        "{}() inside a sort key orders by a per-process "
+                        "value; sort by a stable attribute instead".format(
+                            inner.func.id
+                        ),
+                    )
+
+    def _check_compare(self, module, node):
+        ordering_ops = (ast.Lt, ast.Gt, ast.LtE, ast.GtE)
+        if not any(isinstance(op, ordering_ops) for op in node.ops):
+            return
+        for side in [node.left] + list(node.comparators):
+            if (
+                isinstance(side, ast.Call)
+                and isinstance(side.func, ast.Name)
+                and side.func.id in _UNSTABLE
+            ):
+                yield module.finding(
+                    self.code,
+                    side,
+                    "ordering comparison on {}(); per-process values must "
+                    "not break ties".format(side.func.id),
+                )

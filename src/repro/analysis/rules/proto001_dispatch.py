@@ -1,0 +1,123 @@
+"""PROTO001 — message-handler exhaustiveness.
+
+Every wire-message class defined in a protocol's messages module must
+have a dispatch arm (an ``isinstance`` check or a ``match``/``case``
+pattern) in at least one of its dispatcher modules. A message type
+nobody dispatches is either dead protocol surface or — worse — a
+message silently dropped on the floor, the classic unmodeled-ordering
+membership bug. Client-facing / payload classes opt out with a
+``# repro: not-wire`` comment on their ``class`` line.
+"""
+
+import ast
+import os
+
+from repro.analysis.engine import path_matches
+from repro.analysis.registry import Rule, register
+from repro.analysis.suppress import is_not_wire
+
+
+@register
+class DispatchExhaustivenessRule(Rule):
+    code = "PROTO001"
+    name = "dispatch-exhaustiveness"
+    description = (
+        "a message class in a protocol's messages module has no "
+        "isinstance/match dispatch arm in any of its dispatcher modules"
+    )
+
+    def check_project(self, project, config):
+        for spec in config.protocols:
+            messages = project.find(spec.messages)
+            if messages is None:
+                continue
+            dispatched = set()
+            missing_dispatchers = []
+            for suffix in spec.dispatchers:
+                dispatcher = project.find(suffix)
+                if dispatcher is None:
+                    dispatcher = _load_from_disk(messages.path, spec.messages, suffix)
+                if dispatcher is None:
+                    missing_dispatchers.append(suffix)
+                    continue
+                dispatched.update(_dispatched_names(dispatcher))
+            for class_node in _wire_classes(messages):
+                if class_node.name in dispatched:
+                    continue
+                detail = (
+                    "; dispatcher(s) not found: {}".format(
+                        ", ".join(missing_dispatchers)
+                    )
+                    if missing_dispatchers
+                    else ""
+                )
+                yield messages.finding(
+                    self.code,
+                    class_node,
+                    "message class {} has no dispatch arm in {}{}".format(
+                        class_node.name, ", ".join(spec.dispatchers), detail
+                    ),
+                )
+
+
+def _wire_classes(module):
+    """Top-level classes not marked ``# repro: not-wire``."""
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if is_not_wire(module.line_text(node.lineno)):
+            continue
+        yield node
+
+
+def _dispatched_names(module):
+    """Class names appearing in isinstance checks or match-case patterns."""
+    names = set()
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            names.update(_class_names(node.args[1]))
+        elif isinstance(node, ast.MatchClass):
+            names.update(_class_names(node.cls))
+    return names
+
+
+def _class_names(node):
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.Attribute):
+        return {node.attr}
+    if isinstance(node, ast.Tuple):
+        names = set()
+        for element in node.elts:
+            names.update(_class_names(element))
+        return names
+    return set()
+
+
+def _load_from_disk(messages_path, messages_suffix, dispatcher_suffix):
+    """Resolve a dispatcher that was not part of the lint run.
+
+    The root is whatever prefix of ``messages_path`` the suffix match
+    left over; the dispatcher suffix is resolved against it.
+    """
+    from repro.analysis.engine import ModuleContext
+
+    path = messages_path.replace(os.sep, "/")
+    if not path_matches(path, messages_suffix):
+        return None
+    root = path[: len(path) - len(messages_suffix)]
+    candidate = root + dispatcher_suffix
+    if not os.path.exists(candidate):
+        return None
+    with open(candidate, encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=candidate)
+    except SyntaxError:
+        return None
+    return ModuleContext(candidate, source, tree)

@@ -1,0 +1,66 @@
+"""SIM001 — real concurrency or sockets inside the simulated substrate.
+
+The protocol packages (``repro/{core,gcs,sim,net}``) run entirely on
+the single-threaded virtual-time scheduler; a real thread, event loop,
+or kernel socket there would introduce host-timing nondeterminism that
+no fault-schedule replay can reproduce. Worker fan-out belongs in
+:mod:`repro.check` (outside the substrate), which forks whole
+interpreter processes around the simulation, never inside it.
+"""
+
+import ast
+
+from repro.analysis.engine import path_in_dir
+from repro.analysis.registry import Rule, register
+
+_FORBIDDEN_ROOTS = {
+    "threading",
+    "_thread",
+    "asyncio",
+    "socket",
+    "socketserver",
+    "selectors",
+    "multiprocessing",
+    "concurrent",
+    "queue",
+}
+
+
+@register
+class SubstrateRule(Rule):
+    code = "SIM001"
+    name = "substrate-purity"
+    description = (
+        "threading/asyncio/real-socket import inside the simulated "
+        "substrate (repro/{core,gcs,sim,net}); the substrate must stay "
+        "single-threaded and virtual-time"
+    )
+
+    def check_module(self, module, config):
+        restricted = config.sim_restricted
+        if restricted and not any(
+            path_in_dir(module.path, prefix) for prefix in restricted
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _FORBIDDEN_ROOTS:
+                        yield module.finding(
+                            self.code,
+                            node,
+                            "import {} inside the simulated substrate; use "
+                            "the virtual-time scheduler and simulated "
+                            "network instead".format(alias.name),
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                root = node.module.split(".")[0]
+                if root in _FORBIDDEN_ROOTS:
+                    yield module.finding(
+                        self.code,
+                        node,
+                        "from {} import ... inside the simulated substrate; "
+                        "use the virtual-time scheduler and simulated "
+                        "network instead".format(node.module),
+                    )

@@ -1,0 +1,43 @@
+"""Per-line suppression comments.
+
+A finding on a line carrying ``# repro: allow <rule>[,<rule>...]`` is
+suppressed (reported in the summary but not counted against the exit
+code). ``# repro: allow *`` suppresses every rule on that line. The
+comment documents an *acknowledged* exception — e.g. the campaign
+runner's wall-clock elapsed-time report, which never feeds a verdict.
+"""
+
+import re
+
+_ALLOW = re.compile(r"#\s*repro:\s*allow\s+([\w*,\s-]+)", re.IGNORECASE)
+_NOT_WIRE = re.compile(r"#\s*repro:\s*not-wire\b", re.IGNORECASE)
+
+
+def parse_suppressions(lines):
+    """Map 1-based line number -> set of lowercased allowed rule codes."""
+    suppressions = {}
+    for number, text in enumerate(lines, start=1):
+        match = _ALLOW.search(text)
+        if match is None:
+            continue
+        codes = {
+            code.strip().lower()
+            for code in match.group(1).split(",")
+            if code.strip()
+        }
+        if codes:
+            suppressions[number] = codes
+    return suppressions
+
+
+def is_suppressed(suppressions, line, rule):
+    """True when ``rule`` is allowed on ``line``."""
+    codes = suppressions.get(line)
+    if not codes:
+        return False
+    return "*" in codes or rule.lower() in codes
+
+
+def is_not_wire(line_text):
+    """True when a class-def line opts out of PROTO001 (client-facing)."""
+    return _NOT_WIRE.search(line_text) is not None

@@ -162,9 +162,11 @@ def run_campaign(
         fixture=fixture,
         **spec_overrides,
     )
-    started = time.perf_counter()
+    # Wall-clock is fine here: elapsed time is reported to the operator
+    # only and never feeds a trial verdict or an artifact.
+    started = time.perf_counter()  # repro: allow det001
     results = run_specs(specs, workers=workers)
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # repro: allow det001
 
     failures = []
     artifacts = []

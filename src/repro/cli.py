@@ -7,6 +7,7 @@
     python -m repro baselines
     python -m repro tuning
     python -m repro check --trials 32 --workers 4
+    python -m repro lint src/repro --format json
     python -m repro all
 
 Each experiment subcommand prints the paper-style table(s) produced by
@@ -18,6 +19,8 @@ replays a saved failure artifact) and exits nonzero on violations.
 import argparse
 import sys
 
+from repro.analysis import Baseline, LintConfig, Linter, ProtocolSpec, all_rules
+from repro.analysis.report import render_json, render_text
 from repro.check.campaign import run_campaign
 from repro.check.fixtures import FIXTURES
 from repro.check.replay import replay
@@ -99,6 +102,39 @@ def build_parser():
         "--repeat", type=int, default=1, help="replay the artifact N times"
     )
 
+    lint = sub.add_parser(
+        "lint", help="determinism & protocol-invariant static analysis"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--baseline", default="lint-baseline.json", metavar="FILE",
+        help="baseline file of accepted pre-existing findings",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report everything)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--protocol", action="append", default=None, metavar="MSGS:DISP[,DISP...]",
+        help="override PROTO001 obligations (messages module suffix, colon, "
+        "comma-separated dispatcher suffixes); repeatable",
+    )
+    lint.add_argument(
+        "--sim-restrict", action="append", default=None, metavar="PREFIX",
+        help="override the SIM001 restricted directory prefixes; repeatable",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule set and exit"
+    )
+
     sub.add_parser("all", help="run every experiment in sequence")
     return parser
 
@@ -175,6 +211,50 @@ def _run_check(args, out):
     return 0 if report.passed else 1
 
 
+def _run_lint(args, out):
+    if args.list_rules:
+        for rule in all_rules():
+            out("{}  {}: {}".format(rule.code, rule.name, rule.description))
+        return 0
+    overrides = {}
+    if args.protocol is not None:
+        protocols = []
+        for entry in args.protocol:
+            messages, _, dispatchers = entry.partition(":")
+            if not messages or not dispatchers:
+                raise SystemExit(
+                    "--protocol expects MESSAGES:DISPATCHER[,DISPATCHER...], "
+                    "got {!r}".format(entry)
+                )
+            protocols.append(
+                ProtocolSpec(messages, [d for d in dispatchers.split(",") if d])
+            )
+        overrides["protocols"] = protocols
+    if args.sim_restrict is not None:
+        overrides["sim_restricted"] = args.sim_restrict
+    linter = Linter(LintConfig(**overrides))
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    if args.update_baseline:
+        from repro.analysis.findings import assign_fingerprints
+
+        result = linter.run(args.paths, baseline=Baseline())
+        Baseline.from_findings(assign_fingerprints(result.findings)).save(
+            args.baseline
+        )
+        out(
+            "baseline updated: {} finding(s) recorded in {}".format(
+                len(result.findings), args.baseline
+            )
+        )
+        return 0
+    result = linter.run(args.paths, baseline=baseline)
+    if args.format == "json":
+        out(render_json(result).rstrip("\n"))
+    else:
+        out(render_text(result))
+    return 0 if result.ok else 1
+
+
 def main(argv=None, out=print):
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -188,6 +268,7 @@ def main(argv=None, out=print):
         "load": _run_load,
         "availability": _run_availability,
         "check": _run_check,
+        "lint": _run_lint,
     }
     if args.command == "all":
         defaults = build_parser()

@@ -133,7 +133,10 @@ class CoverageAuditor:
             key = (daemon.view.view_id, daemon.view.members)
             by_view.setdefault(key, []).append(daemon)
         violations = []
-        for (view_id, members), daemons in by_view.items():
+        # Sorted so violation order is a pure function of cluster state,
+        # not of the (arrival-ordered) grouping dict above.
+        for key in sorted(by_view):
+            (_view_id, members), daemons = key, by_view[key]
             if len(daemons) != len(members):
                 continue
             if not all(self._communicating(d) for d in daemons):

@@ -62,7 +62,7 @@ class InterfaceManager:
 
     def release_all(self):
         """Drop every managed address (used on GCS disconnection, §4.2)."""
-        for slot_id in list(self._owned):
+        for slot_id in sorted(self._owned):
             self.release(slot_id)
 
     def _nic_for(self, address):

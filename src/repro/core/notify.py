@@ -69,7 +69,7 @@ class ArpNotifier:
         ttl = self.config.arp_share_ttl
         live = []
         expired = []
-        for ip, (mac, seen) in self._shared.items():
+        for ip, (mac, seen) in sorted(self._shared.items()):
             if now - seen > ttl:
                 expired.append(ip)
             elif ip in nic.lan.subnet:

@@ -104,7 +104,8 @@ class SpreadDaemon(Process):
         self.fd.stop()
         super().stop()
         self._socket.close()
-        for client in list(self._clients.values()):
+        for client_name in sorted(self._clients):
+            client = self._clients[client_name]
             self.sim.after(self.config.client_ipc_latency, client._handle_disconnect)
         self._clients.clear()
         self._local_joins.clear()
@@ -231,8 +232,8 @@ class SpreadDaemon(Process):
     def make_digest(self):
         """Snapshot for the membership ACK (Virtual Synchrony input)."""
         local_groups = {}
-        for client_name, groups in self._local_joins.items():
-            for group in groups:
+        for client_name in sorted(self._local_joins):
+            for group in sorted(self._local_joins[client_name]):
                 local_groups.setdefault(group, []).append(client_name)
         return RecoveryDigest(
             self.orderer.view_id,
@@ -336,8 +337,8 @@ class SpreadDaemon(Process):
 
     def _local_members(self, group):
         members = []
-        for client_name, groups in self._local_joins.items():
-            if group in groups:
+        for client_name in sorted(self._local_joins):
+            if group in self._local_joins[client_name]:
                 client = self._clients.get(client_name)
                 if client is not None:
                     members.append(client)

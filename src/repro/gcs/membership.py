@@ -212,7 +212,11 @@ class MembershipEngine:
             return
         recovery = {}
         groups = {}
-        for digest in self._acks.values():
+        # Sorted so the recovery/group union is built in member order,
+        # not ACK-arrival order (the insertion order escapes into the
+        # InstallMsg every member applies).
+        for sender in sorted(self._acks):
+            digest = self._acks[sender]
             bucket = recovery.setdefault(digest.old_view_id, {})
             bucket.update(digest.messages)
             for group, members in digest.local_groups.items():

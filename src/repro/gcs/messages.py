@@ -77,7 +77,7 @@ class AckMsg:
         return "AckMsg({} for {})".format(self.sender, self.view_id)
 
 
-class RecoveryDigest:
+class RecoveryDigest:  # repro: not-wire (payload inside AckMsg, never dispatched)
     """Per-member state shipped inside an AckMsg."""
 
     __slots__ = ("old_view_id", "messages", "delivered_aru", "local_groups")
@@ -224,7 +224,7 @@ class NackMsg:
 # client-facing types
 
 
-class SpreadMessage:
+class SpreadMessage:  # repro: not-wire (client-facing, delivered not dispatched)
     """A regular (agreed-ordered) group message delivered to a client."""
 
     __slots__ = ("group", "sender", "payload", "view_id")
@@ -239,7 +239,7 @@ class SpreadMessage:
         return "SpreadMessage({} from {} in {})".format(self.group, self.sender, self.view_id)
 
 
-class GroupView:
+class GroupView:  # repro: not-wire (client-facing, delivered not dispatched)
     """A group membership notification delivered to a client.
 
     ``members`` is the identically ordered list of member names

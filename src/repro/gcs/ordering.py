@@ -82,7 +82,8 @@ class ViewOrderer:
     def _resubmit_pending(self):
         if self.frozen or not self._daemon.alive or not self._pending:
             return
-        for pending in list(self._pending.values()):
+        for msg_id in sorted(self._pending):
+            pending = self._pending[msg_id]
             self._unicast_submit(
                 pending.msg_id, pending.kind, pending.group, pending.payload,
                 pending.service,
@@ -231,7 +232,7 @@ class ViewOrderer:
 
     def pending_submissions(self):
         """Messages originated here that never appeared in the order."""
-        return list(self._pending.values())
+        return [self._pending[msg_id] for msg_id in sorted(self._pending)]
 
     def mark_recovered(self, msg_id):
         """Drop a pending submission that surfaced during recovery."""

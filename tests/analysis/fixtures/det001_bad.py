@@ -1,0 +1,19 @@
+"""Known-bad DET001 fixture: wall-clock reads in simulated code."""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp_event(event):
+    event["at"] = time.time()
+    return event
+
+
+def measure():
+    start = monotonic()
+    return monotonic() - start
+
+
+def log_line(message):
+    return "{} {}".format(datetime.now(), message)

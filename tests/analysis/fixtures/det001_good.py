@@ -1,0 +1,14 @@
+"""Known-good DET001 fixture: time comes from the simulation clock."""
+
+
+def stamp_event(sim, event):
+    event["at"] = sim.now
+    return event
+
+
+def measure(sim, started_at):
+    return sim.now - started_at
+
+
+def log_line(sim, message):
+    return "{:.6f} {}".format(sim.now, message)

@@ -1,0 +1,13 @@
+"""Known-bad DET002 fixture: global random module state."""
+
+import random
+from random import choice, shuffle
+
+
+def jitter(base):
+    return base + random.uniform(0.0, 0.5)
+
+
+def pick(items):
+    shuffle(items)
+    return choice(items)

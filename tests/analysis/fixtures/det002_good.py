@@ -1,0 +1,9 @@
+"""Known-good DET002 fixture: draws come from named registry streams."""
+
+
+def jitter(registry, base):
+    return base + registry.stream("jitter").uniform(0.0, 0.5)
+
+
+def pick(registry, items):
+    return registry.stream("pick").choice(sorted(items))

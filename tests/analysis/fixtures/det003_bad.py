@@ -1,0 +1,45 @@
+"""Known-bad DET003 fixture: unordered iteration escaping in order."""
+
+
+def members_list(alive):
+    peers = set(alive)
+    return list(peers)
+
+
+def trace_members(trace, alive):
+    peers = frozenset(alive)
+    for peer in peers:
+        trace.append(peer)
+
+
+def render(alive):
+    names = {name for name in alive}
+    return ", ".join(names)
+
+
+def first_two(alive):
+    peers = set(alive)
+    return [name for name in peers][:2]
+
+
+class Gatherer:
+    def __init__(self):
+        self._acks = {}
+        self._alive = set()
+
+    def on_ack(self, sender, digest):
+        self._acks[sender] = digest
+
+    def union_messages(self):
+        merged = {}
+        for digest in self._acks.values():
+            merged.update(digest)
+        return merged
+
+    def roster(self, out):
+        for sender, digest in self._acks.items():
+            out.append((sender, digest))
+        return out
+
+    def alive_tuple(self):
+        return tuple(self._alive)

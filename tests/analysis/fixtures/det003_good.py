@@ -1,0 +1,46 @@
+"""Known-good DET003 fixture: sorted() wrappers and insensitive consumers."""
+
+
+def members_list(alive):
+    peers = set(alive)
+    return sorted(peers)
+
+
+def trace_members(trace, alive):
+    peers = frozenset(alive)
+    for peer in sorted(peers):
+        trace.append(peer)
+
+
+def render(alive):
+    names = {name for name in alive}
+    return ", ".join(sorted(names))
+
+
+def quorum(alive, needed):
+    peers = set(alive)
+    # Order-insensitive consumers are fine without sorted().
+    return len(peers) >= needed and all(peer is not None for peer in peers)
+
+
+class Gatherer:
+    def __init__(self):
+        self._acks = {}
+        self._alive = set()
+
+    def on_ack(self, sender, digest):
+        self._acks[sender] = digest
+
+    def union_messages(self):
+        merged = {}
+        for sender in sorted(self._acks):
+            merged.update(self._acks[sender])
+        return merged
+
+    def roster(self, out):
+        for sender, digest in sorted(self._acks.items()):
+            out.append((sender, digest))
+        return out
+
+    def alive_count(self):
+        return len(self._alive)

@@ -1,0 +1,20 @@
+"""Known-bad DET004 fixture: per-process values in orderings."""
+
+
+def components(daemons):
+    return sorted(daemons, key=lambda daemon: id(daemon))
+
+
+def pick_representative(daemons):
+    return min(daemons, key=id)
+
+
+def stable_pairs(items):
+    items.sort(key=lambda item: (item.group, hash(item.name)))
+    return items
+
+
+def tie_break(left, right):
+    if id(left) < id(right):
+        return left
+    return right

@@ -1,0 +1,25 @@
+"""Known-good DET004 fixture: orderings on stable attributes."""
+
+
+def components(daemons):
+    return sorted(daemons, key=lambda daemon: daemon.host.name)
+
+
+def pick_representative(daemons):
+    return min(daemons, key=lambda daemon: daemon.name)
+
+
+def stable_pairs(items):
+    items.sort(key=lambda item: (item.group, item.name))
+    return items
+
+
+def tie_break(left, right):
+    if left.name < right.name:
+        return left
+    return right
+
+
+def cache_key(item):
+    # hash() outside an ordering context is fine.
+    return hash((item.group, item.name))

@@ -1,0 +1,17 @@
+"""Dispatcher for the known-bad PROTO001 fixture: PingMsg is dropped."""
+
+from tests.analysis.fixtures.proto001_bad.messages import ByeMsg, HelloMsg
+
+
+class Daemon:
+    def on_datagram(self, message):
+        if isinstance(message, HelloMsg):
+            self.on_hello(message)
+        elif isinstance(message, ByeMsg):
+            self.on_bye(message)
+
+    def on_hello(self, message):
+        pass
+
+    def on_bye(self, message):
+        pass

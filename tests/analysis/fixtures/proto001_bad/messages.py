@@ -1,0 +1,22 @@
+"""Known-bad PROTO001 fixture: PingMsg has no dispatch arm."""
+
+
+class HelloMsg:
+    def __init__(self, sender):
+        self.sender = sender
+
+
+class PingMsg:
+    def __init__(self, sender, nonce):
+        self.sender = sender
+        self.nonce = nonce
+
+
+class ByeMsg:
+    def __init__(self, sender):
+        self.sender = sender
+
+
+class SessionView:  # repro: not-wire (client-facing)
+    def __init__(self, members):
+        self.members = tuple(members)

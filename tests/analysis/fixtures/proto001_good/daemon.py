@@ -1,0 +1,22 @@
+"""Dispatcher for the known-good PROTO001 fixture: exhaustive arms."""
+
+from tests.analysis.fixtures.proto001_good.messages import ByeMsg, HelloMsg, PingMsg
+
+
+class Daemon:
+    def on_datagram(self, message):
+        if isinstance(message, HelloMsg):
+            self.on_hello(message)
+        elif isinstance(message, PingMsg):
+            self.on_ping(message)
+        elif isinstance(message, ByeMsg):
+            self.on_bye(message)
+
+    def on_hello(self, message):
+        pass
+
+    def on_ping(self, message):
+        pass
+
+    def on_bye(self, message):
+        pass

@@ -1,0 +1,22 @@
+"""Known-good PROTO001 fixture: every wire class has a dispatch arm."""
+
+
+class HelloMsg:
+    def __init__(self, sender):
+        self.sender = sender
+
+
+class PingMsg:
+    def __init__(self, sender, nonce):
+        self.sender = sender
+        self.nonce = nonce
+
+
+class ByeMsg:
+    def __init__(self, sender):
+        self.sender = sender
+
+
+class SessionView:  # repro: not-wire (client-facing)
+    def __init__(self, members):
+        self.members = tuple(members)

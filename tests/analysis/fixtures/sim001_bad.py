@@ -1,0 +1,13 @@
+"""Known-bad SIM001 fixture: real concurrency inside the substrate."""
+
+import socket
+import threading
+from asyncio import get_event_loop
+
+
+def serve(port):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.bind(("0.0.0.0", port))
+    worker = threading.Thread(target=sock.recv, args=(1024,))
+    worker.start()
+    return get_event_loop()

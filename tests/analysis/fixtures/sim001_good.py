@@ -1,0 +1,9 @@
+"""Known-good SIM001 fixture: the simulated substrate only."""
+
+
+def serve(host, port, on_datagram):
+    return host.open_udp(port, on_datagram)
+
+
+def tick(sim, callback, delay):
+    return sim.after(delay, callback)

@@ -1,0 +1,112 @@
+"""The `repro lint` subcommand end to end."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+BASELINE = os.path.join(REPO_ROOT, "lint-baseline.json")
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(str(line) for line in lines)
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+BAD_FIXTURE_ARGS = [
+    ("DET001", [fixture("det001_bad.py")]),
+    ("DET002", [fixture("det002_bad.py")]),
+    ("DET003", [fixture("det003_bad.py")]),
+    ("DET004", [fixture("det004_bad.py")]),
+    (
+        "PROTO001",
+        [
+            fixture("proto001_bad"),
+            "--protocol",
+            "proto001_bad/messages.py:proto001_bad/daemon.py",
+        ],
+    ),
+    ("SIM001", [fixture("sim001_bad.py"), "--sim-restrict", "fixtures"]),
+]
+
+
+@pytest.mark.parametrize("code,args", BAD_FIXTURE_ARGS, ids=[c for c, _ in BAD_FIXTURE_ARGS])
+def test_cli_exits_nonzero_on_each_bad_fixture(code, args):
+    exit_code, output = run_cli(["lint", "--no-baseline"] + args)
+    assert exit_code == 1
+    assert code in output
+
+
+def test_cli_exits_zero_on_good_fixtures():
+    exit_code, output = run_cli(
+        [
+            "lint",
+            "--no-baseline",
+            fixture("det001_good.py"),
+            fixture("det002_good.py"),
+            fixture("det003_good.py"),
+            fixture("det004_good.py"),
+            fixture("sim001_good.py"),
+            fixture("proto001_good"),
+            "--protocol",
+            "proto001_good/messages.py:proto001_good/daemon.py",
+            "--sim-restrict",
+            "fixtures",
+        ]
+    )
+    assert exit_code == 0, output
+
+
+def test_cli_json_format(tmp_path):
+    exit_code, output = run_cli(
+        ["lint", "--no-baseline", "--format", "json", fixture("det002_bad.py")]
+    )
+    assert exit_code == 1
+    payload = json.loads(output)
+    assert payload["format"] == "repro-lint/1"
+    assert all(f["rule"] == "DET002" for f in payload["findings"])
+
+
+def test_cli_update_baseline_roundtrip(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    args = ["lint", fixture("det002_bad.py"), "--baseline", str(baseline)]
+    exit_code, _ = run_cli(args)
+    assert exit_code == 1
+    exit_code, output = run_cli(args + ["--update-baseline"])
+    assert exit_code == 0
+    assert "baseline updated" in output
+    exit_code, _ = run_cli(args)
+    assert exit_code == 0
+    # --no-baseline still reports everything.
+    exit_code, _ = run_cli(args + ["--no-baseline"])
+    assert exit_code == 1
+
+
+def test_cli_list_rules():
+    exit_code, output = run_cli(["lint", "--list-rules"])
+    assert exit_code == 0
+    for code in ("DET001", "DET002", "DET003", "DET004", "PROTO001", "SIM001"):
+        assert code in output
+
+
+def test_cli_rejects_malformed_protocol_spec():
+    with pytest.raises(SystemExit):
+        run_cli(["lint", fixture("det001_good.py"), "--protocol", "nonsense"])
+
+
+def test_repo_tree_is_clean_with_committed_baseline():
+    """Acceptance: `repro lint src/repro` exits 0 on the committed tree."""
+    exit_code, output = run_cli(["lint", SRC, "--baseline", BASELINE])
+    assert exit_code == 0, output

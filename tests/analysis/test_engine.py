@@ -1,0 +1,152 @@
+"""Engine mechanics: suppressions, baseline workflow, reporters."""
+
+import json
+import os
+
+from repro.analysis import Baseline, LintConfig, Linter, get_rule
+from repro.analysis.findings import assign_fingerprints
+from repro.analysis.report import render_json, render_text
+from repro.analysis.suppress import is_suppressed, parse_suppressions
+
+
+def _lint_source(tmp_path, source, code="DET002", **config_kwargs):
+    path = tmp_path / "snippet.py"
+    path.write_text(source)
+    config = LintConfig(
+        wallclock_exempt=[], random_exempt=[], **config_kwargs
+    )
+    linter = Linter(config, rules=[get_rule(code)])
+    return linter.run([str(path)], baseline=Baseline())
+
+
+class TestSuppressions:
+    def test_allow_comment_suppresses_the_named_rule(self, tmp_path):
+        result = _lint_source(
+            tmp_path, "import random  # repro: allow det002\n"
+        )
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.ok
+
+    def test_allow_comment_is_rule_specific(self, tmp_path):
+        result = _lint_source(
+            tmp_path, "import random  # repro: allow det001\n"
+        )
+        assert len(result.findings) == 1
+        assert not result.ok
+
+    def test_allow_star_suppresses_everything(self, tmp_path):
+        result = _lint_source(tmp_path, "import random  # repro: allow *\n")
+        assert result.findings == []
+
+    def test_allow_comment_covers_multiple_rules(self):
+        table = parse_suppressions(["x = 1  # repro: allow det001, det004"])
+        assert is_suppressed(table, 1, "DET001")
+        assert is_suppressed(table, 1, "det004")
+        assert not is_suppressed(table, 1, "DET002")
+        assert not is_suppressed(table, 2, "DET001")
+
+
+class TestBaseline:
+    def test_baselined_findings_do_not_fail_the_run(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text("import random\n")
+        linter = Linter(
+            LintConfig(random_exempt=[]), rules=[get_rule("DET002")]
+        )
+        first = linter.run([str(path)], baseline=Baseline())
+        assert not first.ok
+        baseline = Baseline.from_findings(assign_fingerprints(first.findings))
+        second = linter.run([str(path)], baseline=baseline)
+        assert second.ok
+        assert len(second.baselined) == len(first.findings)
+
+    def test_new_findings_still_fail_a_baselined_run(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text("import random\n")
+        linter = Linter(
+            LintConfig(random_exempt=[]), rules=[get_rule("DET002")]
+        )
+        baseline = Baseline.from_findings(
+            assign_fingerprints(linter.run([str(path)]).findings)
+        )
+        path.write_text("import random\nvalue = random.random()\n")
+        result = linter.run([str(path)], baseline=baseline)
+        assert len(result.baselined) == 1  # the import survives the edit
+        assert len(result.findings) == 1  # the new call is reported
+        assert not result.ok
+
+    def test_baseline_is_stable_across_unrelated_line_shifts(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text("import random\n")
+        linter = Linter(
+            LintConfig(random_exempt=[]), rules=[get_rule("DET002")]
+        )
+        baseline = Baseline.from_findings(
+            assign_fingerprints(linter.run([str(path)]).findings)
+        )
+        path.write_text("'''docstring pushes the import down'''\n\nimport random\n")
+        result = linter.run([str(path)], baseline=baseline)
+        assert result.ok
+
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text("import random\n")
+        linter = Linter(
+            LintConfig(random_exempt=[]), rules=[get_rule("DET002")]
+        )
+        baseline = Baseline.from_findings(
+            assign_fingerprints(linter.run([str(path)]).findings)
+        )
+        baseline_path = tmp_path / "baseline.json"
+        baseline.save(str(baseline_path))
+        loaded = Baseline.load(str(baseline_path))
+        assert loaded.entries == baseline.entries
+        assert linter.run([str(path)], baseline=loaded).ok
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(str(tmp_path / "absent.json"))) == 0
+
+
+class TestReporters:
+    def test_json_report_is_valid_and_sorted(self, tmp_path):
+        result = _lint_source(tmp_path, "import random\nimport random\n")
+        payload = json.loads(render_json(result))
+        assert payload["format"] == "repro-lint/1"
+        assert payload["summary"]["findings"] == 2
+        locations = [(f["path"], f["line"]) for f in payload["findings"]]
+        assert locations == sorted(locations)
+
+    def test_text_report_names_rule_and_location(self, tmp_path):
+        result = _lint_source(tmp_path, "import random\n")
+        text = render_text(result)
+        assert "DET002" in text
+        assert "snippet.py:1:" in text
+        assert "FAILED" in text
+
+    def test_clean_text_report(self, tmp_path):
+        result = _lint_source(tmp_path, "VALUE = 1\n")
+        assert "clean" in render_text(result)
+
+
+class TestParseErrors:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        result = Linter(LintConfig()).run([str(path)], baseline=Baseline())
+        assert len(result.parse_errors) == 1
+        assert result.parse_errors[0].rule == "PARSE"
+        assert not result.ok
+
+
+def test_collect_files_is_sorted_and_unique(tmp_path):
+    from repro.analysis.engine import collect_files
+
+    (tmp_path / "b.py").write_text("")
+    (tmp_path / "a.py").write_text("")
+    sub = tmp_path / "pkg"
+    os.makedirs(str(sub))
+    (sub / "c.py").write_text("")
+    files = collect_files([str(tmp_path), str(tmp_path / "a.py")])
+    assert files == sorted(files)
+    assert len(files) == len(set(files)) == 3
