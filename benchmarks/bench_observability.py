@@ -1,0 +1,99 @@
+"""Overhead of the observability layer on the Figure 5 workload.
+
+The metrics registry instruments every hot path of the simulation — the
+scheduler loop, LAN frame delivery, NIC rx/tx, GCS datagram dispatch,
+the Wackamole interface manager — so it must be cheap enough to leave
+on for the paper sweeps and the soak campaigns. Budget: **metrics-on
+must cost less than 5 % wall-clock over metrics-off** on the §6
+fail-over trial (the Figure 5 unit of work). The disabled registry
+hands out a shared null instrument, so metrics-off pays exactly one
+``is None`` test in the scheduler loop and attribute lookups elsewhere.
+
+The in-test guard is deliberately looser (25 %) because shared CI
+runners add noise to a measurement this small; the 5 % budget is the
+engineering target, checked on quiet hardware. Both configurations run
+the identical seed and must produce the identical interruption —
+measurement must never perturb the measured system.
+"""
+
+from repro.apps.webcluster import WebClusterScenario
+from repro.experiments.report import format_table
+from repro.gcs.config import SpreadConfig
+
+#: Engineering budget (quiet hardware) vs. CI guard (noisy runners).
+OVERHEAD_BUDGET = 0.05
+CI_GUARD = 0.25
+
+
+def _figure5_unit(seed, metrics_enabled):
+    """One Figure 5 trial body; returns (interruption, instruments)."""
+    scenario = WebClusterScenario(
+        seed=seed,
+        n_servers=4,
+        n_vips=10,
+        spread_config=SpreadConfig.tuned(),
+        wackamole_overrides={"maturity_timeout": 2.0, "balance_enabled": False},
+        metrics_enabled=metrics_enabled,
+    )
+    scenario.start()
+    if not scenario.run_until_stable(timeout=60.0):
+        raise RuntimeError("cluster never stabilised")
+    probe = scenario.start_probe()
+    scenario.sim.run_for(1.0)
+    fault_time = scenario.sim.now
+    scenario.kill_owner_of(scenario.vips[0], mode="nic_down")
+    scenario.sim.run_for(4.0)
+    probe.stop_probing()
+    return (
+        probe.failover_interruption(after=fault_time),
+        len(scenario.sim.metrics),
+    )
+
+
+def bench_observability_overhead(benchmark, paper_report):
+    import time
+
+    def timed(metrics_enabled, rounds=3):
+        best = None
+        interruption = instruments = None
+        for round_index in range(rounds):
+            start = time.perf_counter()
+            interruption, instruments = _figure5_unit(42, metrics_enabled)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best, interruption, instruments
+
+    def run():
+        on_time, on_interruption, instruments = timed(True)
+        off_time, off_interruption, null_instruments = timed(False)
+        return on_time, off_time, on_interruption, off_interruption, instruments, null_instruments
+
+    on_time, off_time, on_int, off_int, instruments, null_instruments = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    overhead = on_time / off_time - 1.0
+
+    # Observation must never perturb the observed protocol.
+    assert on_int == off_int, "metrics changed the measured interruption"
+    assert instruments > 0, "metrics-on registered no instruments"
+    assert null_instruments == 0, "disabled registry stored instruments"
+    assert overhead < CI_GUARD, (
+        "observability overhead {:.1%} exceeds even the noisy-CI guard "
+        "({:.0%}; engineering budget {:.0%})".format(
+            overhead, CI_GUARD, OVERHEAD_BUDGET
+        )
+    )
+
+    benchmark.extra_info["overhead"] = "{:.2%}".format(overhead)
+    benchmark.extra_info["budget"] = "{:.0%}".format(OVERHEAD_BUDGET)
+    paper_report(
+        format_table(
+            ["Configuration", "Wall-clock (s)", "Interruption (s)"],
+            [
+                ["metrics on", round(on_time, 4), round(on_int, 4)],
+                ["metrics off", round(off_time, 4), round(off_int, 4)],
+                ["overhead", "{:.2%}".format(overhead), "budget {:.0%}".format(OVERHEAD_BUDGET)],
+            ],
+            title="Observability overhead on the Figure 5 trial",
+        )
+    )

@@ -2,9 +2,9 @@
 """The administrative control channel (§4.2) in action.
 
 Boots a small cluster, then drives one daemon through the operator
-command surface: inspect status and the allocation table, hand an
-address off, change preferences, and finally drain the server
-gracefully.
+command surface: inspect status, the allocation table and the live
+metrics registry, hand an address off, change preferences, and finally
+drain the server gracefully.
 
 Run:  python examples/admin_console.py
 """
@@ -46,6 +46,8 @@ def main():
     issue(console, "status")
     issue(console, "vips")
     issue(console, "table")
+    print("  (live metrics for this host, filtered to the core layer:)")
+    issue(console, "metrics core.")
 
     owned = wacks[0].iface.owned_slots()[0]
     issue(console, "release {}".format(owned), sim=sim, settle=5.0)

@@ -52,6 +52,7 @@ DEFAULT_SIM_RESTRICTED = (
     "repro/gcs",
     "repro/sim",
     "repro/net",
+    "repro/obs",
 )
 
 # Files allowed to read real clocks / own the randomness primitives.

@@ -33,9 +33,16 @@ class WebClusterScenario:
         wackamole_overrides=None,
         probe_interval=0.010,
         trace_enabled=True,
+        trace_capacity=None,
+        metrics_enabled=True,
         sim=None,
     ):
-        self.sim = sim if sim is not None else Simulation(seed=seed, trace_enabled=trace_enabled)
+        self.sim = sim if sim is not None else Simulation(
+            seed=seed,
+            trace_enabled=trace_enabled,
+            trace_capacity=trace_capacity,
+            metrics_enabled=metrics_enabled,
+        )
         self.lan = Lan(self.sim, "cluster", self.SUBNET)
         self.spread_config = spread_config or SpreadConfig.default()
         self.faults = FaultInjector(self.sim)

@@ -27,12 +27,16 @@ class UdpEchoServer:
         self.host = host
         self.port = port
         self.requests_served = 0
+        self._m_served = host.sim.metrics.counter(
+            "workload.requests_served", node=host.name
+        )
         self._socket = host.open_udp(port, self._respond)
 
     def _respond(self, payload, src, dst):
         if not isinstance(payload, tuple) or payload[0] != "req":
             return
         self.requests_served += 1
+        self._m_served.inc()
         seq = payload[1]
         self.host.send_udp(
             ("resp", seq, self.host.name),
@@ -88,6 +92,11 @@ class ProbeClient(Process):
         self._socket = host.open_udp(self.client_port, self._on_response)
         self._send_timer = self.periodic(self._send_probe, self.interval, name="probe")
         self._seq = 0
+        self._last_server = None
+        metrics = host.sim.metrics
+        self._m_sent = metrics.counter("workload.probes_sent", node=self.name)
+        self._m_responses = metrics.counter("workload.responses_received", node=self.name)
+        self._m_changes = metrics.counter("workload.server_changes", node=self.name)
 
     def start(self):
         """Begin probing every ``interval`` seconds."""
@@ -110,6 +119,7 @@ class ProbeClient(Process):
     def _send_probe(self):
         self._seq += 1
         self.requests_sent += 1
+        self._m_sent.inc()
         self.host.send_udp(
             ("req", self._seq), self.target, self.port, src_port=self.client_port
         )
@@ -119,6 +129,18 @@ class ProbeClient(Process):
             return
         _, seq, server = payload
         self.responses.append(ProbeResponse(self.now, seq, server))
+        self._m_responses.inc()
+        if server != self._last_server:
+            if self._last_server is not None:
+                self._m_changes.inc()
+                self.trace(
+                    "workload",
+                    "server_change",
+                    target=str(self.target),
+                    old=self._last_server,
+                    new=server,
+                )
+            self._last_server = server
 
     # ------------------------------------------------------------------
     # measurement

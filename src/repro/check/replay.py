@@ -13,15 +13,18 @@ import json
 from repro.check.campaign import ARTIFACT_FORMAT
 from repro.check.trial import run_trial
 
-# Result fields that must match byte-for-byte on replay. sim_time and
-# counters are included: a divergence there means nondeterminism even
-# if the violation happens to look the same.
+# Result fields that must match byte-for-byte on replay. sim_time,
+# counters, the per-trial metrics summary and the extracted fail-over
+# episode records are all included: a divergence there means
+# nondeterminism even if the violation happens to look the same.
 _COMPARED_FIELDS = (
     "verdict",
     "sim_time",
     "violations",
     "violation_kinds",
     "trace_tail",
+    "metrics",
+    "episodes",
 )
 
 
@@ -63,6 +66,13 @@ class ReplayReport:
             lines.append("  identical reproduction (all compared fields match)")
         else:
             lines.append("  DIVERGED on: {}".format(", ".join(self.diffs)))
+            if "episodes" in self.diffs:
+                lines.append(
+                    "  episode records differ: saved {} vs fresh {}".format(
+                        len(saved.get("episodes", [])),
+                        len(self.result.get("episodes", [])),
+                    )
+                )
         for line in self.result.get("trace_tail", [])[-8:]:
             lines.append("  {}".format(line))
         return "\n".join(lines)

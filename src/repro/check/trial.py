@@ -10,6 +10,7 @@ on simulated state, never on wall-clock or process identity.
 from repro.check.fixtures import daemon_class
 from repro.check.harness import CheckCluster
 from repro.check.schedule import FaultSchedule
+from repro.obs.episodes import episodes_as_dicts
 from repro.sim.simulation import Simulation
 
 SPEC_DEFAULTS = {
@@ -86,6 +87,8 @@ def run_trial(spec):
         "sim_time": round(sim.now, 6),
         "events_fired": sim.scheduler.events_fired,
         "restarts": cluster.restarts,
+        "metrics": sim.metrics.totals(),
+        "episodes": episodes_as_dicts(sim.trace.records),
     }
 
 
@@ -97,6 +100,8 @@ def _failure(spec, sim, verdict, violations):
         "violations": sorted(repr(v) for v in violations),
         "violation_kinds": sorted({v.kind for v in violations}),
         "trace_tail": [repr(r) for r in sim.trace.tail(spec["trace_tail"])],
+        "metrics": sim.metrics.totals(),
+        "episodes": episodes_as_dicts(sim.trace.records),
     }
 
 

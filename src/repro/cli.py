@@ -7,6 +7,7 @@
     python -m repro baselines
     python -m repro tuning
     python -m repro check --trials 32 --workers 4
+    python -m repro observe --fault crash --format jsonl
     python -m repro lint src/repro --format json
     python -m repro all
 
@@ -32,6 +33,7 @@ from repro.experiments.load import LoadedClusterExperiment
 from repro.experiments.router_experiment import RouterFailoverExperiment
 from repro.experiments.table1 import Table1Experiment
 from repro.experiments.tuning import FalsePositiveExperiment, SensitivityExperiment
+from repro.obs.observe import FAULT_MODES
 
 
 def build_parser():
@@ -101,6 +103,23 @@ def build_parser():
     check.add_argument(
         "--repeat", type=int, default=1, help="replay the artifact N times"
     )
+
+    observe = sub.add_parser(
+        "observe", help="instrumented fail-over run: metric catalog + episodes"
+    )
+    observe.add_argument("--seed", type=int, default=7)
+    observe.add_argument("--servers", type=int, default=3)
+    observe.add_argument("--vips", type=int, default=6)
+    observe.add_argument("--fault", default="crash", choices=FAULT_MODES)
+    observe.add_argument(
+        "--settle", type=float, default=10.0,
+        help="simulated seconds to converge before the fault",
+    )
+    observe.add_argument(
+        "--duration", type=float, default=10.0,
+        help="simulated seconds to observe after the fault",
+    )
+    observe.add_argument("--format", choices=("text", "jsonl"), default="text")
 
     lint = sub.add_parser(
         "lint", help="determinism & protocol-invariant static analysis"
@@ -211,6 +230,25 @@ def _run_check(args, out):
     return 0 if report.passed else 1
 
 
+def _run_observe(args, out):
+    from repro.obs.dashboard import jsonl_observation, render_observation
+    from repro.obs.observe import run_observation
+
+    result = run_observation(
+        seed=args.seed,
+        n_servers=args.servers,
+        n_vips=args.vips,
+        fault=args.fault,
+        settle=args.settle,
+        observe_for=args.duration,
+    )
+    if args.format == "jsonl":
+        out(jsonl_observation(result).rstrip("\n"))
+    else:
+        out(render_observation(result).rstrip("\n"))
+    return 0
+
+
 def _run_lint(args, out):
     if args.list_rules:
         for rule in all_rules():
@@ -268,6 +306,7 @@ def main(argv=None, out=print):
         "load": _run_load,
         "availability": _run_availability,
         "check": _run_check,
+        "observe": _run_observe,
         "lint": _run_lint,
     }
     if args.command == "all":

@@ -39,6 +39,21 @@ class AdminControl:
             if self.daemon.table.owner(slot_id) == self.daemon.member_name:
                 self.daemon.table.release(slot_id)
 
+    def metrics(self):
+        """Live metrics rows scoped to this daemon's host.
+
+        Reads the simulation's :class:`~repro.obs.metrics.MetricsRegistry`
+        and keeps instruments whose node is the host itself or one of
+        its components (``web1``, ``web1.cluster``, ...), sorted.
+        """
+        host = self.daemon.host
+        prefix = host.name + "."
+        return [
+            (name, node, labels, instrument)
+            for name, node, labels, instrument in host.sim.metrics.collect()
+            if node == host.name or node.startswith(prefix)
+        ]
+
     def shutdown(self):
         """Graceful exit: release everything, lightweight group leave."""
         self.daemon.shutdown()
@@ -61,6 +76,7 @@ class AdminConsole:
         owned                   locally bound VIP groups
         release <slot>          drop one VIP group locally
         prefer <slot> [...]     replace the preference list
+        metrics [filter]        live metrics for this host
         shutdown                graceful exit
         help                    list commands
     """
@@ -87,7 +103,7 @@ class AdminConsole:
     def _cmd_help(self, arguments):
         return (
             "commands: status | table | vips | owned | release <slot> | "
-            "prefer <slot> [...] | shutdown | help"
+            "prefer <slot> [...] | metrics [filter] | shutdown | help"
         )
 
     def _cmd_status(self, arguments):
@@ -135,6 +151,26 @@ class AdminConsole:
     def _cmd_prefer(self, arguments):
         self.control.set_preferences(arguments)
         return "preferences: {}".format(" ".join(arguments) or "-")
+
+    def _cmd_metrics(self, arguments):
+        rows = self.control.metrics()
+        if arguments:
+            needle = arguments[0]
+            rows = [row for row in rows if needle in row[0]]
+        if not rows:
+            return "(no metrics)"
+        lines = []
+        for name, node, labels, instrument in rows:
+            label_text = "".join(
+                "[{}={}]".format(key, value) for key, value in labels
+            )
+            if instrument.kind == "timeseries":
+                summary = instrument.summary()
+                value = "last={} avg={}".format(summary["last"], summary["time_avg"])
+            else:
+                value = str(instrument.value)
+            lines.append("{}{} ({}) = {}".format(name, label_text, node, value))
+        return "\n".join(lines)
 
     def _cmd_shutdown(self, arguments):
         self.control.shutdown()

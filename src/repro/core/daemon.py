@@ -51,6 +51,13 @@ class WackamoleDaemon(Process):
         host.register_service(self)
         self.notifier = ArpNotifier(host, config)
         self.iface = InterfaceManager(host, config, self.notifier)
+        metrics = self.sim.metrics
+        self._metrics = metrics
+        self._m_reallocations = metrics.counter("core.reallocations", node=host.name)
+        self._m_balances_sent = metrics.counter("core.balances_sent", node=host.name)
+        self._m_balances_applied = metrics.counter("core.balances_applied", node=host.name)
+        self._m_conflicts = metrics.counter("core.conflicts_dropped", node=host.name)
+        self._m_reconnects = metrics.counter("core.reconnects", node=host.name)
         self.machine = StateMachine(trace=self._trace_transition)
         self.client = None
         self.client_name = client_name
@@ -115,6 +122,7 @@ class WackamoleDaemon(Process):
         if not self.alive:
             return
         self.reconnect_attempts += 1
+        self._m_reconnects.inc()
         # Like the real system, connect to whatever GCS daemon currently
         # runs on this host (a restarted daemon is a new process).
         current = getattr(self.host, "spread_daemon", None)
@@ -228,6 +236,7 @@ class WackamoleDaemon(Process):
             winner, loser = resolve_claim(self.table, slot, message.sender)
             if loser is not None:
                 self.conflicts_dropped += 1
+                self._m_conflicts.inc()
                 self.trace("wackamole", "conflict", slot=slot, winner=winner, loser=loser)
                 if loser == self.member_name and self.config.eager_conflict_resolution:
                     # §3.4: restore network-level consistency as soon
@@ -252,6 +261,7 @@ class WackamoleDaemon(Process):
                 return
             reallocate_ips(self.table, self._preferences, self._weights)
             self.reallocations += 1
+            self._m_reallocations.inc()
             self._apply_table()
         self.machine.fire("REALLOCATION_COMPLETE")
         self.trace("wackamole", "run", allocation=self.table.as_dict())
@@ -267,6 +277,7 @@ class WackamoleDaemon(Process):
             if slot in self.table.slots and (owner is None or owner in self.table.members):
                 self.table.set_owner(slot, owner)
         self.reallocations += 1
+        self._m_reallocations.inc()
         self._apply_table()
         if completing_gather:
             self.machine.fire("REALLOCATION_COMPLETE")
@@ -316,6 +327,7 @@ class WackamoleDaemon(Process):
             message = BalanceMsg(self.member_name, self.view.view_id, allocation)
             self.client.multicast(self.config.group_name, message)
             self.balances_sent += 1
+            self._m_balances_sent.inc()
             self.trace("wackamole", "balance_sent", allocation=allocation)
         self.machine.fire("BALANCE_COMPLETE")
         self._balance_timer.start(self.config.balance_timeout)
@@ -332,6 +344,7 @@ class WackamoleDaemon(Process):
                 self.table.set_owner(slot, owner)
         self._apply_table()
         self.balances_applied += 1
+        self._m_balances_applied.inc()
 
     # ------------------------------------------------------------------
     # maturity bootstrap (§3.4)
@@ -365,6 +378,7 @@ class WackamoleDaemon(Process):
             # same order -> same allocation, no extra communication.
             reallocate_ips(self.table, self._preferences, self._weights)
             self.reallocations += 1
+            self._m_reallocations.inc()
             self._apply_table()
             self.trace("wackamole", "mature_reallocation", allocation=self.table.as_dict())
             self._maybe_start_balance_timer()
@@ -402,6 +416,7 @@ class WackamoleDaemon(Process):
         }
 
     def _trace_transition(self, event, to_state):
+        self._metrics.inc("core.transitions", node=self.host.name, state=to_state)
         self.trace("wackamole", "transition", trigger=event, state=to_state)
 
     def __repr__(self):

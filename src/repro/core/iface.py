@@ -21,6 +21,10 @@ class InterfaceManager:
         self._owned = set()
         self.acquisitions = 0
         self.releases = 0
+        metrics = host.sim.metrics
+        self._m_acquisitions = metrics.counter("core.vip_acquisitions", node=host.name)
+        self._m_releases = metrics.counter("core.vip_releases", node=host.name)
+        self._m_owned = metrics.timeseries("core.vips_owned", node=host.name)
 
     def owned_slots(self):
         """Ids of VIP groups currently bound locally, in config order."""
@@ -44,6 +48,8 @@ class InterfaceManager:
             nic.bind_ip(address)
         self._owned.add(slot_id)
         self.acquisitions += 1
+        self._m_acquisitions.inc()
+        self._m_owned.observe(len(self._owned))
         self.host.trace("wackamole", "acquire", slot=slot_id)
         for nic, address in bindings:
             self.notifier.announce(nic, address)
@@ -58,6 +64,8 @@ class InterfaceManager:
             nic.unbind_ip(address)
         self._owned.discard(slot_id)
         self.releases += 1
+        self._m_releases.inc()
+        self._m_owned.observe(len(self._owned))
         self.host.trace("wackamole", "release", slot=slot_id)
 
     def release_all(self):

@@ -23,11 +23,15 @@ class ArpNotifier:
         self.config = config
         self._shared = {}
         self.announcements = 0
+        self._m_announcements = host.sim.metrics.counter(
+            "core.arp_announcements", node=host.name
+        )
 
     def announce(self, nic, address):
         """Spoof ARP for ``address`` now owned by ``nic``."""
         targets = self._target_macs(nic)
         self.announcements += 1
+        self._m_announcements.inc()
         if targets:
             self.host.arp.announce(nic, address, target_macs=targets)
         else:

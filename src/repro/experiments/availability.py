@@ -12,6 +12,7 @@ from repro.apps.webcluster import WebClusterScenario
 from repro.apps.workload import ProbeClient
 from repro.experiments.report import format_table, mean
 from repro.gcs.config import SpreadConfig
+from repro.obs.coverage import ClusterObserver
 from repro.sim.rng import RngRegistry
 
 
@@ -35,6 +36,7 @@ class AvailabilityExperiment:
         self.spread_config = spread_config or SpreadConfig.tuned()
         self.probe_interval = probe_interval
         self.base_seed = base_seed
+        self._gap_seconds = []
 
     def run_trial(self, seed):
         """One window; returns (pool availability, per-vip rates, probes)."""
@@ -55,6 +57,10 @@ class AvailabilityExperiment:
         ]
         for probe in probes:
             probe.start()
+        # Passive coverage sampler: feeds the core.vips_covered metrics
+        # and measures how long the pool sat below full coverage. Pure
+        # read-side observation — the probe numbers are unaffected.
+        observer = ClusterObserver(scenario.sim, scenario.wacks).start()
         rng = RngRegistry(seed).stream("fault_schedule")
         fault_times = sorted(
             rng.uniform(self.window * 0.1, self.window * 0.8)
@@ -68,6 +74,11 @@ class AvailabilityExperiment:
         scenario.sim.run_for(self.window)
         for probe in probes:
             probe.stop_probing()
+        observer.stop()
+        full = max((s.covered for s in observer.samples), default=0)
+        self._gap_seconds.append(
+            sum(1 for s in observer.samples if s.covered < full) * observer.interval
+        )
         per_vip = {
             str(probe.target): probe.response_rate() for probe in probes
         }
@@ -85,6 +96,7 @@ class AvailabilityExperiment:
         """Mean pool availability and the worst single-VIP rate."""
         pool_rates = []
         worst_vip_rates = []
+        self._gap_seconds = []
         for trial in range(trials):
             pool, per_vip, _ = self.run_trial(self.base_seed + trial)
             pool_rates.append(pool)
@@ -93,6 +105,7 @@ class AvailabilityExperiment:
             "pool_availability": mean(pool_rates),
             "worst_vip_availability": mean(worst_vip_rates),
             "samples": pool_rates,
+            "mean_coverage_gap": mean(self._gap_seconds) if self._gap_seconds else 0.0,
         }
 
     def format(self, results=None, trials=2):
@@ -102,6 +115,10 @@ class AvailabilityExperiment:
             ["faults injected", self.faults],
             ["pool availability", "{:.4%}".format(results["pool_availability"])],
             ["worst single VIP", "{:.4%}".format(results["worst_vip_availability"])],
+            [
+                "mean coverage gap (s)",
+                "{:.2f}".format(results.get("mean_coverage_gap", 0.0)),
+            ],
         ]
         return format_table(
             ["Metric", "Value"],

@@ -32,6 +32,7 @@ class GracefulLeaveExperiment:
     def run(self):
         """Interruption samples for graceful shutdowns."""
         samples = []
+        phase_samples = {}
         for trial in range(self.trials):
             result = run_failover_trial(
                 self.base_seed + trial,
@@ -43,11 +44,19 @@ class GracefulLeaveExperiment:
             )
             if result.interruption is not None:
                 samples.append(result.interruption)
+            episode = result.failover_episode()
+            if episode is not None:
+                for phase, duration in episode.phase_durations().items():
+                    if duration is not None:
+                        phase_samples.setdefault(phase, []).append(duration)
         return {
             "samples": samples,
             "mean": mean(samples),
             "max": max(samples) if samples else None,
             "within_bound": all(s <= self.UPPER_BOUND for s in samples),
+            "phase_means": {
+                phase: mean(values) for phase, values in sorted(phase_samples.items())
+            },
         }
 
     def format(self, results=None):
@@ -59,6 +68,8 @@ class GracefulLeaveExperiment:
             ["paper bound (s)", self.UPPER_BOUND],
             ["all within bound", results["within_bound"]],
         ]
+        for phase, value in results.get("phase_means", {}).items():
+            rows.append(["mean {} phase (s)".format(phase), round(value, 6)])
         return format_table(
             ["Metric", "Value"], rows, title="Voluntary leave availability interruption"
         )

@@ -10,6 +10,7 @@ is properly sampled across trials.
 """
 
 from repro.apps.webcluster import WebClusterScenario
+from repro.obs.episodes import extract_episodes, first_complete_episode
 from repro.sim.rng import RngRegistry
 
 
@@ -26,10 +27,11 @@ class FailoverTrial:
         "victim",
         "takeover",
         "violations",
+        "episodes",
     )
 
     def __init__(self, seed, cluster_size, n_vips, fault_mode, fault_time,
-                 interruption, victim, takeover, violations):
+                 interruption, victim, takeover, violations, episodes=()):
         self.seed = seed
         self.cluster_size = cluster_size
         self.n_vips = n_vips
@@ -39,6 +41,11 @@ class FailoverTrial:
         self.victim = victim
         self.takeover = takeover
         self.violations = violations
+        self.episodes = list(episodes)
+
+    def failover_episode(self):
+        """The complete episode caused by the injected fault, or None."""
+        return first_complete_episode(self.episodes, after=self.fault_time)
 
     def __repr__(self):
         return "FailoverTrial(n={}, {}, interruption={})".format(
@@ -67,7 +74,6 @@ def run_failover_trial(
         spread_config=spread_config,
         wackamole_overrides=overrides,
         probe_interval=probe_interval,
-        trace_enabled=False,
     )
     scenario.start()
     if not scenario.run_until_stable(timeout=60.0):
@@ -98,4 +104,5 @@ def run_failover_trial(
         victim=victim.host.name,
         takeover=takeover.host.name if takeover else None,
         violations=violations,
+        episodes=extract_episodes(scenario.sim.trace.records),
     )

@@ -12,6 +12,7 @@ verify it falls in the derived window.
 from repro.apps.webcluster import WebClusterScenario
 from repro.experiments.report import format_table, mean
 from repro.gcs.config import SpreadConfig
+from repro.obs.episodes import extract_episodes
 from repro.sim.rng import RngRegistry
 
 
@@ -66,22 +67,24 @@ class Table1Experiment:
         phase = RngRegistry(seed).stream("fault_phase").uniform(0.0, 1.0)
         scenario.sim.run_for(0.5 + phase * config.heartbeat_timeout)
         fault_time = scenario.sim.now
-        victim = scenario.kill_owner_of(scenario.vips[0], mode="nic_down")
+        scenario.kill_owner_of(scenario.vips[0], mode="nic_down")
         lo, hi = config.notification_window()
         scenario.sim.run_for(hi + 2.0)
-        # Only the surviving component's reconfiguration counts: the
-        # disconnected victim also installs a (singleton) view, on its
-        # own — earlier — failure-detection schedule.
-        installs = [
-            record
-            for record in scenario.sim.trace.select(
-                category="membership", event="install", since=fault_time
-            )
-            if record.source != victim.spread.name
-        ]
-        if not installs:
+        # The fault opens one fail-over episode; its install milestone is
+        # the surviving component's first view installation (the episode
+        # extractor discards the disconnected victim's own — earlier —
+        # singleton install).
+        episode = None
+        for candidate in extract_episodes(scenario.sim.trace.records):
+            if (
+                candidate.trigger_kind == "fault:nic_down"
+                and candidate.trigger_time >= fault_time - 1e-9
+            ):
+                episode = candidate
+                break
+        if episode is None or episode.install_time is None:
             raise RuntimeError("no view installed after fault (seed={})".format(seed))
-        return installs[0].time - fault_time
+        return episode.install_time - fault_time
 
     def run(self):
         """Full results: the parameter table plus measured windows."""

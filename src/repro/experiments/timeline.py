@@ -2,121 +2,26 @@
 
 The §6 experiments reduce each run to a single number (the availability
 interruption). For debugging and for visualising *why* that number is
-what it is, this module samples a cluster's state on a fixed period —
-how many VIPs are covered/duplicated, how many daemons sit in each
-state — and can render the coverage dip around a fault as an ASCII
-chart.
+what it is, a cluster is sampled on a fixed period — how many VIPs are
+covered/duplicated, how many daemons sit in each state — and the
+coverage dip around a fault rendered as an ASCII chart.
+
+The sampling and analysis now live in
+:class:`repro.obs.coverage.ClusterObserver` (where the samples also
+feed the ``core.vips_covered``/``core.vips_duplicated`` time-weighted
+metrics); this module keeps the experiment-facing name and adds the
+chart rendering on top.
 """
 
-from repro.core.state import GATHER, RUN
 from repro.experiments.plotting import render_series
+from repro.obs.coverage import ClusterObserver, ClusterSample
+
+#: Backwards-compatible alias: timeline samples *are* observer samples.
+TimelineSample = ClusterSample
 
 
-class TimelineSample:
-    """One observation instant."""
-
-    __slots__ = ("time", "covered", "duplicated", "run_daemons", "gather_daemons",
-                 "live_daemons")
-
-    def __init__(self, time, covered, duplicated, run_daemons, gather_daemons,
-                 live_daemons):
-        self.time = time
-        self.covered = covered
-        self.duplicated = duplicated
-        self.run_daemons = run_daemons
-        self.gather_daemons = gather_daemons
-        self.live_daemons = live_daemons
-
-    def __repr__(self):
-        return "TimelineSample(t={:.2f}, covered={}, dup={}, run={})".format(
-            self.time, self.covered, self.duplicated, self.run_daemons
-        )
-
-
-class ClusterTimeline:
-    """Periodic sampler over a set of Wackamole daemons."""
-
-    def __init__(self, sim, wacks, interval=0.1):
-        self.sim = sim
-        self.wacks = list(wacks)
-        self.interval = float(interval)
-        self.samples = []
-        self._running = False
-
-    def start(self):
-        """Begin sampling every ``interval`` simulated seconds."""
-        if not self._running:
-            self._running = True
-            self._tick()
-        return self
-
-    def stop(self):
-        """Stop sampling (recorded samples are kept)."""
-        self._running = False
-
-    def _tick(self):
-        if not self._running:
-            return
-        self.samples.append(self._observe())
-        self.sim.after(self.interval, self._tick)
-
-    def _observe(self):
-        slots = []
-        for wack in self.wacks:
-            for slot in wack.config.slot_ids():
-                if slot not in slots:
-                    slots.append(slot)
-        covered = 0
-        duplicated = 0
-        live = [w for w in self.wacks if w.alive and w.host.alive]
-        for slot in slots:
-            owners = 0
-            for wack in live:
-                group = wack.config.group(slot)
-                if all(wack.host.owns_ip(a) for a in group.addresses):
-                    owners += 1
-            if owners >= 1:
-                covered += 1
-            if owners > 1:
-                duplicated += 1
-        return TimelineSample(
-            time=self.sim.now,
-            covered=covered,
-            duplicated=duplicated,
-            run_daemons=sum(1 for w in live if w.machine.state == RUN),
-            gather_daemons=sum(1 for w in live if w.machine.state == GATHER),
-            live_daemons=len(live),
-        )
-
-    # ------------------------------------------------------------------
-    # analysis
-
-    def series(self, metric):
-        """[(time, value)] for one sample attribute."""
-        return [(s.time, getattr(s, metric)) for s in self.samples]
-
-    def coverage_dip(self):
-        """(start, end, depth) of the first drop below full coverage.
-
-        Returns None when coverage never dipped. ``depth`` is the
-        number of simultaneously uncovered VIPs at the worst point.
-        """
-        if not self.samples:
-            return None
-        full = max(s.covered for s in self.samples)
-        start = end = None
-        depth = 0
-        for sample in self.samples:
-            if sample.covered < full:
-                if start is None:
-                    start = sample.time
-                end = sample.time
-                depth = max(depth, full - sample.covered)
-            elif start is not None:
-                break
-        if start is None:
-            return None
-        return (start, end, depth)
+class ClusterTimeline(ClusterObserver):
+    """Periodic sampler over a set of Wackamole daemons, with rendering."""
 
     def render(self, metrics=("covered", "duplicated"), width=72, height=12):
         """ASCII chart of selected metrics over time."""

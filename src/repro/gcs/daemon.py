@@ -65,6 +65,11 @@ class SpreadDaemon(Process):
         )
         self.started = False
         self.messages_sent = 0
+        metrics = self.sim.metrics
+        self._m_sent = metrics.counter("gcs.messages_sent", node=self.daemon_id)
+        self._m_received = metrics.counter("gcs.datagrams_received", node=self.daemon_id)
+        self._m_delivered = metrics.counter("gcs.messages_delivered", node=self.daemon_id)
+        self._m_heartbeats = metrics.counter("gcs.heartbeats_sent", node=self.daemon_id)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -130,6 +135,7 @@ class SpreadDaemon(Process):
         if not self.alive:
             return
         self.messages_sent += 1
+        self._m_sent.inc()
         self.host.send_udp(
             message,
             self.lan.subnet.broadcast_address,
@@ -146,6 +152,7 @@ class SpreadDaemon(Process):
             self.broadcast(message)
             return
         self.messages_sent += 1
+        self._m_sent.inc()
         self.host.send_udp(message, address, self.config.port, src_port=self.config.port)
 
     def _send_heartbeat(self):
@@ -154,6 +161,7 @@ class SpreadDaemon(Process):
             view_id = self.orderer.view_id
             top_seq = self.orderer.top_seq()
             aru = self.orderer.recv_aru
+        self._m_heartbeats.inc()
         self.broadcast(Heartbeat(self.daemon_id, view_id, top_seq, aru))
 
     def next_msg_id(self):
@@ -167,6 +175,7 @@ class SpreadDaemon(Process):
     def _on_datagram(self, message, src, dst):
         if not self.alive or not self.started:
             return
+        self._m_received.inc()
         if not isinstance(message, OrderedMsg):
             # OrderedMsg carries the *originator*, not the broadcaster
             # (the sequencer); it must not feed the address book.
@@ -293,6 +302,7 @@ class SpreadDaemon(Process):
 
     def apply_ordered(self, message):
         """Apply one totally ordered message (data or group event)."""
+        self._m_delivered.inc()
         if message.kind == OrderedMsg.DATA:
             sender_name, payload = message.payload
             spread_message = SpreadMessage(message.group, sender_name, payload, message.view_id)

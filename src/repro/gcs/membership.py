@@ -48,6 +48,9 @@ class MembershipEngine:
         self._acked_view_id = None
         self.views_installed = 0
         self.gathers_started = 0
+        metrics = daemon.sim.metrics
+        self._m_views = metrics.counter("gcs.views_installed", node=daemon.daemon_id)
+        self._m_gathers = metrics.counter("gcs.gathers_started", node=daemon.daemon_id)
 
         self._join_timer = daemon.periodic(
             self._broadcast_join, self.config.join_interval, name="join"
@@ -81,6 +84,7 @@ class MembershipEngine:
         self._cancel_all_timers()
         self.state = GATHER
         self.gathers_started += 1
+        self._m_gathers.inc()
         self._proposal = None
         self._acks = {}
         self._acked_view_id = None
@@ -261,6 +265,7 @@ class MembershipEngine:
         self._acked_view_id = None
         self.alive = set()
         self.views_installed += 1
+        self._m_views.inc()
         self.daemon.trace(
             "membership",
             "install",

@@ -27,6 +27,11 @@ class Lan:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost = 0
+        metrics = sim.metrics
+        self._m_sent = metrics.counter("net.frames_sent", node=name)
+        self._m_broadcast = metrics.counter("net.broadcasts", node=name)
+        self._m_delivered = metrics.counter("net.frames_delivered", node=name)
+        self._m_lost = metrics.counter("net.frames_lost", node=name)
 
     def attach(self, nic):
         """Register an interface on this segment (called by Nic)."""
@@ -84,8 +89,11 @@ class Lan:
     def transmit(self, frame, src_nic):
         """Deliver ``frame`` from ``src_nic`` per MAC addressing rules."""
         self.frames_sent += 1
+        self._m_sent.inc()
         src_group = self._groups[src_nic]
         broadcast = frame.dst_mac.is_broadcast
+        if broadcast:
+            self._m_broadcast.inc()
         for nic in self._nics:
             if nic is src_nic:
                 continue
@@ -95,11 +103,13 @@ class Lan:
                 continue
             if self.loss and self._rng.random() < self.loss:
                 self.frames_lost += 1
+                self._m_lost.inc()
                 continue
             delay = self.latency
             if self.jitter:
                 delay += self._rng.uniform(0.0, self.jitter)
             self.frames_delivered += 1
+            self._m_delivered.inc()
             self.sim.scheduler.after(delay, nic.deliver, frame)
 
     def __repr__(self):

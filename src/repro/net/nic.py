@@ -36,6 +36,10 @@ class Nic:
                 )
             self._bound.add(self.primary_ip)
         self.up = True
+        metrics = host.sim.metrics
+        self._m_rx = metrics.counter("net.nic_rx_frames", node=self.name)
+        self._m_tx = metrics.counter("net.nic_tx_frames", node=self.name)
+        self._m_dropped = metrics.counter("net.nic_dropped_frames", node=self.name)
         lan.attach(self)
 
     @property
@@ -82,13 +86,17 @@ class Nic:
     def transmit(self, frame):
         """Send a frame onto the LAN; silently dropped if the NIC is down."""
         if not self.up:
+            self._m_dropped.inc()
             return
+        self._m_tx.inc()
         self.lan.transmit(frame, self)
 
     def deliver(self, frame):
         """Called by the LAN when a frame arrives for this NIC."""
         if not self.up or not self.host.alive:
+            self._m_dropped.inc()
             return
+        self._m_rx.inc()
         self.host.handle_frame(self, frame)
 
     def __repr__(self):

@@ -1,0 +1,45 @@
+"""repro.obs — simulation-time observability.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges and time-weighted
+  histograms keyed by ``(name, node, labels)``, reading simulated time
+  only;
+* :mod:`repro.obs.episodes` — fail-over episodes stitched from the
+  structured trace, with per-phase durations;
+* :mod:`repro.obs.coverage` — the periodic cluster sampler feeding the
+  coverage/duplication time series.
+
+Only the leaf modules (metrics, episodes) are re-exported here: the
+simulation substrate imports :class:`MetricsRegistry` through this
+package, so pulling :mod:`repro.obs.coverage` (which imports the core
+layer) into the package init would create an import cycle. Import
+``ClusterObserver``, the dashboard renderers and the ``repro observe``
+driver from their modules directly.
+"""
+
+from repro.obs.episodes import (
+    FailoverEpisode,
+    episodes_as_dicts,
+    extract_episodes,
+    first_complete_episode,
+)
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+)
+
+__all__ = [
+    "Counter",
+    "FailoverEpisode",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "TimeWeightedHistogram",
+    "episodes_as_dicts",
+    "extract_episodes",
+    "first_complete_episode",
+]

@@ -1,0 +1,107 @@
+"""The ``repro observe`` driver: one instrumented fail-over run.
+
+Builds the quickstart scenario (a small web cluster with tuned GCS
+timeouts and a short maturity window), lets it converge, injects one
+fault against the owner of the probed virtual address, and returns the
+full observability picture: the metrics registry, the extracted
+fail-over episodes, and the probe measurements. Everything is a pure
+function of ``(seed, shape, fault)``, so two runs with the same
+arguments render byte-identical output — the CI smoke test diffs the
+JSON-lines export of a double run.
+"""
+
+from repro.apps.webcluster import WebClusterScenario
+from repro.gcs.config import SpreadConfig
+from repro.obs.coverage import ClusterObserver
+from repro.obs.episodes import extract_episodes, first_complete_episode
+
+#: fault modes accepted by ``repro observe --fault``.
+FAULT_MODES = ("crash", "nic_down", "shutdown")
+
+
+class ObservationResult:
+    """Everything one observed run produced."""
+
+    __slots__ = (
+        "scenario",
+        "seed",
+        "fault",
+        "fault_time",
+        "victim",
+        "episodes",
+        "interruption",
+        "observer",
+    )
+
+    def __init__(self, scenario, seed, fault, fault_time, victim, episodes,
+                 interruption, observer):
+        self.scenario = scenario
+        self.seed = seed
+        self.fault = fault
+        self.fault_time = fault_time
+        self.victim = victim
+        self.episodes = episodes
+        self.interruption = interruption
+        self.observer = observer
+
+    @property
+    def metrics(self):
+        """The run's :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.scenario.sim.metrics
+
+    def failover_episode(self):
+        """The complete episode caused by the injected fault, or None."""
+        return first_complete_episode(self.episodes, after=self.fault_time)
+
+
+def run_observation(
+    seed=7,
+    n_servers=3,
+    n_vips=6,
+    fault="crash",
+    settle=10.0,
+    observe_for=10.0,
+    metrics_enabled=True,
+):
+    """Run the instrumented quickstart fail-over and observe everything.
+
+    Mirrors ``examples/quickstart.py``: ``n_servers`` servers share
+    ``n_vips`` virtual addresses, converge for ``settle`` simulated
+    seconds, then the owner of the probed address is removed with
+    ``fault`` and the cluster runs ``observe_for`` more seconds.
+    """
+    if fault not in FAULT_MODES:
+        raise ValueError(
+            "unknown fault mode {!r}; expected one of {}".format(fault, FAULT_MODES)
+        )
+    scenario = WebClusterScenario(
+        seed=seed,
+        n_servers=n_servers,
+        n_vips=n_vips,
+        spread_config=SpreadConfig.tuned(),
+        wackamole_overrides={"maturity_timeout": 2.0},
+        metrics_enabled=metrics_enabled,
+    )
+    scenario.start()
+    scenario.start_probe(scenario.vips[0])
+    observer = ClusterObserver(scenario.sim, scenario.wacks).start()
+    scenario.sim.run_for(settle)
+
+    fault_time = scenario.sim.now
+    victim = scenario.kill_owner_of(scenario.vips[0], mode=fault)
+    scenario.sim.run_for(observe_for)
+    scenario.probe.stop_probing()
+    observer.stop()
+
+    episodes = extract_episodes(scenario.sim.trace.records)
+    interruption = scenario.probe.failover_interruption(after=fault_time)
+    return ObservationResult(
+        scenario=scenario,
+        seed=seed,
+        fault=fault,
+        fault_time=fault_time,
+        victim=victim.host.name,
+        episodes=episodes,
+        interruption=interruption,
+        observer=observer,
+    )

@@ -21,6 +21,19 @@ class Scheduler:
         self._heap = []
         self._running = False
         self._events_fired = 0
+        self._m_events = None
+        self._m_depth = None
+
+    def bind_metrics(self, registry):
+        """Attach event-loop instruments (fired count, queue depth).
+
+        Left unbound — e.g. when the owning Simulation disables metrics
+        — the run loop pays a single ``is None`` test per event. The
+        queue-depth series is sampled every 64th event (plus once per
+        ``run`` call) to keep the per-event cost to a counter add.
+        """
+        self._m_events = registry.counter("sim.events_fired", node="scheduler")
+        self._m_depth = registry.timeseries("sim.queue_depth", node="scheduler")
 
     @property
     def now(self):
@@ -81,8 +94,14 @@ class Scheduler:
                 event.fire()
                 fired += 1
                 self._events_fired += 1
+                if self._m_events is not None:
+                    self._m_events.inc()
+                    if not self._events_fired & 63:
+                        self._m_depth.observe(len(self._heap))
         finally:
             self._running = False
+        if fired and self._m_depth is not None:
+            self._m_depth.observe(len(self._heap))
         if until is not None and self._now < until:
             self._now = float(until)
         return fired

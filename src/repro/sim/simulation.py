@@ -1,9 +1,11 @@
-"""The Simulation facade: scheduler + rng + trace in one handle.
+"""The Simulation facade: scheduler + rng + trace + metrics in one handle.
 
 Every component in the reproduction receives a Simulation instance; it
-is the single source of time, randomness and logging for a run.
+is the single source of time, randomness, logging and measurement for a
+run.
 """
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import TraceLog
@@ -12,11 +14,22 @@ from repro.sim.trace import TraceLog
 class Simulation:
     """One self-contained simulated world."""
 
-    def __init__(self, seed=0, trace_enabled=True, trace_capacity=None):
+    def __init__(
+        self,
+        seed=0,
+        trace_enabled=True,
+        trace_capacity=None,
+        metrics_enabled=True,
+    ):
         self.scheduler = Scheduler()
         self.rng = RngRegistry(seed)
         self.trace = TraceLog(enabled=trace_enabled, capacity=trace_capacity)
         self.trace.bind_clock(lambda: self.scheduler.now)
+        self.metrics = MetricsRegistry(
+            clock=lambda: self.scheduler.now, enabled=metrics_enabled
+        )
+        if metrics_enabled:
+            self.scheduler.bind_metrics(self.metrics)
 
     @property
     def now(self):

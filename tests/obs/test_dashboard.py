@@ -1,0 +1,75 @@
+"""Unit tests for the dashboard renderers and the JSON-lines export."""
+
+import json
+
+from repro.obs.dashboard import (
+    jsonl_export,
+    metric_rows,
+    render_dashboard,
+    render_episodes,
+)
+from repro.obs.episodes import extract_episodes
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecord
+
+
+def small_registry():
+    holder = {"t": 0.0}
+    registry = MetricsRegistry(clock=lambda: holder["t"])
+    registry.inc("net.frames_sent", node="lan0", amount=12)
+    registry.set("core.vips_owned_target", 3, node="web1")
+    series = registry.timeseries("sim.queue_depth", node="scheduler")
+    series.observe(4)
+    holder["t"] = 2.0
+    series.observe(1)
+    return registry
+
+
+def crash_episode():
+    records = [
+        TraceRecord(10.0, "fault", "injector", "crash", {"target": "web1"}),
+        TraceRecord(10.5, "membership", "spread@web2", "gather", {"reason": "suspected web1"}),
+        TraceRecord(11.0, "membership", "spread@web2", "install", {"view": 3, "members": ["web2"]}),
+        TraceRecord(11.1, "wackamole", "wack@web2", "view_change", {}),
+        TraceRecord(11.2, "wackamole", "wack@web2", "run", {}),
+        TraceRecord(11.3, "wackamole", "wack@web2", "acquire", {"slot": "vip:0"}),
+    ]
+    return extract_episodes(records)
+
+
+def test_metric_rows_are_deterministic_dicts():
+    rows = metric_rows(small_registry())
+    assert [row["name"] for row in rows] == [
+        "core.vips_owned_target",
+        "net.frames_sent",
+        "sim.queue_depth",
+    ]
+    assert rows[1]["kind"] == "counter"
+    assert rows[1]["summary"] == {"value": 12}
+    assert rows[2]["summary"]["samples"] == 2
+
+
+def test_render_dashboard_lists_layers_metrics_and_episodes():
+    text = render_dashboard(small_registry(), crash_episode())
+    assert "3 instrument(s) across 3 layer(s): core, net, sim" in text
+    assert "net.frames_sent" in text
+    assert "fail-over episodes" in text
+    assert "fault:crash" in text
+
+
+def test_render_episodes_without_episodes_says_so():
+    assert "no fail-over episodes observed" in render_episodes([])
+
+
+def test_jsonl_export_is_byte_identical_and_parseable():
+    header = {"seed": 7}
+    first = jsonl_export(small_registry(), crash_episode(), header=header)
+    second = jsonl_export(small_registry(), crash_episode(), header=header)
+    assert first == second
+    lines = first.rstrip("\n").split("\n")
+    payloads = [json.loads(line) for line in lines]
+    assert [p["type"] for p in payloads] == ["header", "metric", "metric", "metric", "episode"]
+    assert payloads[0]["seed"] == 7
+    assert payloads[-1]["victim"] == "web1"
+    # Compact separators and sorted keys: re-dumping reproduces the bytes.
+    assert lines[0] == json.dumps(payloads[0], sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,149 @@
+"""Unit tests for fail-over episode extraction from trace records."""
+
+import json
+
+import pytest
+
+from repro.obs.episodes import (
+    episodes_as_dicts,
+    extract_episodes,
+    first_complete_episode,
+)
+from repro.sim.trace import TraceRecord
+
+
+def rec(time, category, source, event, **details):
+    return TraceRecord(time, category, source, event, details)
+
+
+def crash_trace():
+    """A canonical single-crash fail-over, victim web1."""
+    return [
+        rec(10.0, "fault", "injector", "crash", target="web1"),
+        rec(10.5, "membership", "spread@web2", "gather", reason="suspected web1"),
+        # The victim's own view of the world never counts as a milestone.
+        rec(10.6, "membership", "spread@web1", "install", view=9, members=["web1"]),
+        rec(11.0, "membership", "spread@web2", "install", view=10, members=["web2", "web3"]),
+        rec(11.1, "wackamole", "wack@web2", "view_change"),
+        rec(11.2, "wackamole", "wack@web2", "run"),
+        rec(11.3, "wackamole", "wack@web3", "run"),
+        rec(11.4, "wackamole", "wack@web2", "acquire", slot="vip:0"),
+        rec(11.5, "arp", "web2", "announce", address="10.0.0.100"),
+        rec(12.0, "workload", "probe@client", "server_change", old="web1", new="web2"),
+    ]
+
+
+def test_crash_trace_yields_one_complete_episode():
+    episodes = extract_episodes(crash_trace())
+    assert len(episodes) == 1
+    episode = episodes[0]
+    assert episode.trigger_kind == "fault:crash"
+    assert episode.victim == "web1"
+    assert episode.complete
+    assert episode.detection_time == 10.5
+    assert episode.install_time == 11.0  # victim's install was excluded
+    assert episode.view == 10
+    assert episode.members == ["web2", "web3"]
+    assert episode.acquired == [("vip:0", "wack@web2")]
+    assert episode.arp_announcements == 1
+    assert episode.client_recovery_time == 12.0
+    assert episode.end_time == 12.0
+
+
+def test_phase_durations_of_crash_trace():
+    episode = extract_episodes(crash_trace())[0]
+    phases = episode.phase_durations()
+    assert phases["detection"] == pytest.approx(0.5)
+    assert phases["membership"] == pytest.approx(0.5)
+    assert phases["gather"] == pytest.approx(0.2)
+    assert phases["reallocation"] == 0.0
+    assert phases["arp"] == 0.0
+    assert phases["client_recovery"] == pytest.approx(2.0)
+    assert phases["total"] == pytest.approx(2.0)
+
+
+def test_missing_phases_report_none_not_zero():
+    """A graceful leave skips detection; the phases stay None."""
+    episodes = extract_episodes(
+        [
+            rec(5.0, "wackamole", "wack@web1", "shutdown"),
+            rec(5.1, "wackamole", "wack@web2", "view_change"),
+            rec(5.2, "wackamole", "wack@web2", "run"),
+            rec(5.3, "wackamole", "wack@web2", "acquire", slot="vip:1"),
+        ]
+    )
+    assert len(episodes) == 1
+    episode = episodes[0]
+    assert episode.victim == "web1"
+    phases = episode.phase_durations()
+    assert phases["detection"] is None
+    assert phases["membership"] is None
+    assert phases["client_recovery"] is None
+    assert phases["gather"] == pytest.approx(0.1)
+    assert episode.complete
+
+
+def test_suspicion_gather_opens_episode_when_no_fault_was_traced():
+    episodes = extract_episodes(
+        [
+            rec(3.0, "membership", "spread@web2", "gather", reason="suspected web1"),
+            rec(3.5, "membership", "spread@web2", "install", view=4, members=["web2"]),
+        ]
+    )
+    assert len(episodes) == 1
+    assert episodes[0].trigger_kind == "membership:gather"
+    assert episodes[0].detection_time == 3.0
+    assert episodes[0].install_time == 3.5
+
+
+def test_boot_time_gathers_are_not_triggers():
+    episodes = extract_episodes(
+        [
+            rec(0.1, "membership", "spread@web1", "gather", reason="startup"),
+            rec(0.2, "membership", "spread@web1", "install", view=1, members=["web1"]),
+        ]
+    )
+    assert episodes == []
+
+
+def test_cascading_faults_fold_into_one_episode():
+    records = [
+        rec(10.0, "fault", "injector", "crash", target="web1"),
+        # Second fault lands before the cluster converged: same episode.
+        rec(10.2, "fault", "injector", "nic_down", target="web2.cluster"),
+        rec(10.9, "membership", "spread@web3", "gather", reason="suspected web1"),
+        rec(11.0, "membership", "spread@web3", "install", view=7, members=["web3"]),
+        rec(11.1, "wackamole", "wack@web3", "view_change"),
+        rec(11.2, "wackamole", "wack@web3", "run"),
+        rec(11.3, "wackamole", "wack@web3", "acquire", slot="vip:0"),
+        # Third fault arrives after convergence: a fresh episode.
+        rec(20.0, "fault", "injector", "crash", target="web3"),
+    ]
+    episodes = extract_episodes(records)
+    assert len(episodes) == 2
+    first, second = episodes
+    assert [r.event for r in first.extra_triggers] == ["nic_down"]
+    assert first.converged
+    assert second.trigger_time == 20.0
+    assert not second.converged
+
+
+def test_first_complete_episode_honours_after():
+    episodes = extract_episodes(crash_trace())
+    assert first_complete_episode(episodes) is episodes[0]
+    assert first_complete_episode(episodes, after=10.0) is episodes[0]
+    assert first_complete_episode(episodes, after=10.5) is None
+    assert first_complete_episode([]) is None
+
+
+def test_to_dict_is_json_stable():
+    records = crash_trace()
+    first = json.dumps(episodes_as_dicts(records), sort_keys=True)
+    second = json.dumps(episodes_as_dicts(list(records)), sort_keys=True)
+    assert first == second
+    payload = episodes_as_dicts(records)[0]
+    assert payload["victim"] == "web1"
+    assert payload["complete"] is True
+    assert payload["milestones"]["install"] == 11.0
+    assert payload["phases"]["total"] == 2.0
+    assert payload["acquired"] == [["vip:0", "wack@web2"]]

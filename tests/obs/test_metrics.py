@@ -1,0 +1,158 @@
+"""Unit tests for the simulation-time metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeightedHistogram,
+)
+
+
+def make_registry(time=0.0, enabled=True):
+    holder = {"t": time}
+    registry = MetricsRegistry(clock=lambda: holder["t"], enabled=enabled)
+    return registry, holder
+
+
+# ----------------------------------------------------------------------
+# instruments
+
+
+def test_counter_increments_monotonically():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert counter.summary() == {"value": 5}
+
+
+def test_gauge_set_and_add():
+    gauge = Gauge()
+    gauge.set(7)
+    gauge.add(-2)
+    assert gauge.value == 5
+    assert gauge.summary() == {"value": 5}
+
+
+def test_timeseries_weights_by_duration_not_samples():
+    """A value held longer dominates the average, however few samples."""
+    registry, holder = make_registry()
+    series = registry.timeseries("sim.depth", node="s")
+    series.observe(2)  # held for 1s
+    holder["t"] = 1.0
+    series.observe(0)  # held for 2s (tail segment, up to now)
+    holder["t"] = 3.0
+    assert series.time_average() == pytest.approx(2.0 / 3.0)
+    summary = series.summary()
+    assert summary["last"] == 0.0
+    assert summary["min"] == 0.0
+    assert summary["max"] == 2.0
+    assert summary["samples"] == 2
+    assert summary["time_avg"] == round(2.0 / 3.0, 9)
+
+
+def test_timeseries_before_any_sample_reports_none():
+    series = TimeWeightedHistogram(clock=lambda: 0.0)
+    assert series.time_average() is None
+    assert series.summary()["time_avg"] is None
+
+
+def test_timeseries_with_zero_elapsed_returns_value():
+    registry, _ = make_registry(time=5.0)
+    series = registry.timeseries("x")
+    series.observe(9)
+    assert series.time_average() == 9.0
+
+
+# ----------------------------------------------------------------------
+# registry keying
+
+
+def test_same_key_returns_same_instrument():
+    registry, _ = make_registry()
+    a = registry.counter("net.frames", node="lan0")
+    b = registry.counter("net.frames", node="lan0")
+    assert a is b
+    a.inc()
+    assert b.value == 1
+
+
+def test_labels_distinguish_and_are_order_insensitive():
+    registry, _ = make_registry()
+    a = registry.counter("core.transitions", node="web1", state="RUN", kind="x")
+    b = registry.counter("core.transitions", node="web1", kind="x", state="RUN")
+    c = registry.counter("core.transitions", node="web1", state="GATHER", kind="x")
+    assert a is b
+    assert a is not c
+
+
+def test_kind_mismatch_raises():
+    registry, _ = make_registry()
+    registry.counter("x", node="n")
+    with pytest.raises(TypeError):
+        registry.gauge("x", node="n")
+
+
+def test_one_shot_conveniences_feed_the_same_instruments():
+    registry, holder = make_registry()
+    registry.inc("a.count", node="n")
+    registry.inc("a.count", node="n", amount=2)
+    registry.set("a.level", 4, node="n")
+    registry.observe("a.series", 1, node="n")
+    holder["t"] = 1.0
+    assert registry.counter("a.count", node="n").value == 3
+    assert registry.gauge("a.level", node="n").value == 4
+    assert registry.timeseries("a.series", node="n").time_average() == 1.0
+
+
+# ----------------------------------------------------------------------
+# disabled registry
+
+
+def test_disabled_registry_hands_out_shared_null_instrument():
+    registry, _ = make_registry(enabled=False)
+    counter = registry.counter("a.count", node="n")
+    series = registry.timeseries("a.series", node="n")
+    assert counter is NULL_INSTRUMENT
+    assert series is NULL_INSTRUMENT
+    counter.inc()
+    series.observe(3)
+    registry.inc("a.other")
+    assert NULL_INSTRUMENT.value == 0
+    assert len(registry) == 0
+    assert registry.collect() == []
+    assert registry.totals() == {}
+    assert registry.layers() == []
+
+
+# ----------------------------------------------------------------------
+# deterministic read side
+
+
+def test_collect_is_sorted_regardless_of_creation_order():
+    registry, _ = make_registry()
+    registry.inc("net.z", node="b")
+    registry.inc("core.a", node="z")
+    registry.inc("net.z", node="a")
+    keys = [(name, node) for name, node, _labels, _i in registry.collect()]
+    assert keys == [("core.a", "z"), ("net.z", "a"), ("net.z", "b")]
+
+
+def test_totals_sums_counters_across_nodes_only():
+    registry, _ = make_registry()
+    registry.inc("net.frames", node="a", amount=2)
+    registry.inc("net.frames", node="b", amount=3)
+    registry.set("net.depth", 9, node="a")
+    registry.observe("net.series", 1, node="a")
+    assert registry.totals() == {"net.frames": 5}
+
+
+def test_layers_reports_first_dotted_segments():
+    registry, _ = make_registry()
+    registry.inc("net.frames", node="a")
+    registry.inc("core.reallocations", node="b")
+    registry.inc("sim.events_fired", node="s")
+    assert registry.layers() == ["core", "net", "sim"]

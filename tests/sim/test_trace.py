@@ -106,6 +106,39 @@ def test_disabled_emit_returns_none_but_counts():
     assert len(log.records) == 1
 
 
+def test_capacity_zero_retains_nothing_but_still_counts():
+    """capacity=0 is a legal degenerate bound: pure counting mode.
+
+    Every emit still returns the freshly built record (callers may log
+    it), but the retained window is empty, so select/tail/last all see
+    nothing while count() reports whole-run totals.
+    """
+    log = TraceLog(clock=lambda: 0.0, capacity=0)
+    for index in range(5):
+        record = log.emit("a", "x", "e", i=index)
+        assert record is not None
+    assert log.records == []
+    assert log.tail(5) == []
+    assert log.last(category="a") is None
+    assert log.select(category="a") == []
+    assert log.count("a", "e") == 5
+
+
+def test_reenabling_applies_capacity_to_new_records():
+    """Flipping enabled back on resumes the same bounded window."""
+    log = TraceLog(clock=lambda: 0.0, capacity=2)
+    log.enabled = False
+    for _ in range(4):
+        assert log.emit("a", "x", "e") is None
+    assert log.records == []
+    log.enabled = True
+    for index in range(3):
+        log.emit("a", "x", "e", i=index)
+    assert [r.details["i"] for r in log.records] == [1, 2]
+    # Counters span the disabled stretch and the trimmed records alike.
+    assert log.count("a", "e") == 7
+
+
 def test_clear_resets_everything():
     log, _ = make_log()
     log.emit("a", "x", "e")
