@@ -6,6 +6,8 @@ fail-over trial is, and how much simulated traffic the LAN sustains.
 They guard against regressions that would make the paper sweeps slow.
 """
 
+from repro.bench.suite import SCALES, build_workload
+from repro.check.campaign import campaign_params, run_campaign_trials
 from repro.experiments.runner import run_failover_trial
 from repro.gcs.config import SpreadConfig
 from repro.net.host import Host
@@ -58,3 +60,34 @@ def bench_full_failover_trial_tuned(benchmark):
 
     result = benchmark(run)
     assert result.interruption is not None
+
+
+def bench_timer_churn(benchmark):
+    """Refresh-heavy timer traffic: the GCS failure-detector pattern.
+
+    Exercises the scheduler's lazy-cancellation + compaction path and
+    the reschedule (event-recycling) fast path via the shared
+    ``repro.bench`` workload, so ``repro bench`` and pytest-benchmark
+    measure the same code.
+    """
+    run, _unit, _scale = build_workload("kernel_timer_churn", "quick")
+    units = benchmark(run)
+    assert units > 0
+    assert SCALES["quick"]["kernel_timer_churn"]["n_timers"] == 24
+
+
+def bench_parallel_campaign_throughput(benchmark):
+    """Warm-worker campaign fan-out: trials/second with workers=2.
+
+    Covers chunked index submission, worker-side spec reconstruction,
+    and result marshalling — the `repro check --workers N` hot path.
+    """
+    params = campaign_params(
+        base_seed=20260806, trials=4, horizon=25.0, events_per_trial=5
+    )
+
+    def run():
+        return run_campaign_trials(params, workers=2)
+
+    results = benchmark(run)
+    assert [r["verdict"] for r in results] == ["pass"] * 4

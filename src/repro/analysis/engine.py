@@ -53,10 +53,14 @@ DEFAULT_SIM_RESTRICTED = (
     "repro/sim",
     "repro/net",
     "repro/obs",
+    "repro/bench",
 )
 
 # Files allowed to read real clocks / own the randomness primitives.
-DEFAULT_WALLCLOCK_EXEMPT = ("repro/sim/scheduler.py",)
+# The bench runner's whole job is timing pure simulation workloads, so
+# it joins the scheduler in the wall-clock exemption; the workloads
+# themselves (repro/bench/suite.py) stay virtual-time only.
+DEFAULT_WALLCLOCK_EXEMPT = ("repro/sim/scheduler.py", "repro/bench/runner.py")
 DEFAULT_RANDOM_EXEMPT = ("repro/sim/rng.py",)
 
 

@@ -1,12 +1,14 @@
 """PROTO001 — message-handler exhaustiveness.
 
 Every wire-message class defined in a protocol's messages module must
-have a dispatch arm (an ``isinstance`` check or a ``match``/``case``
-pattern) in at least one of its dispatcher modules. A message type
-nobody dispatches is either dead protocol surface or — worse — a
-message silently dropped on the floor, the classic unmodeled-ordering
-membership bug. Client-facing / payload classes opt out with a
-``# repro: not-wire`` comment on their ``class`` line.
+have a dispatch arm — an ``isinstance`` check, an exact-type identity
+check (``type(msg) is Cls`` / ``kind is Cls``, the hot-path form the
+daemon uses), or a ``match``/``case`` pattern — in at least one of its
+dispatcher modules. A message type nobody dispatches is either dead
+protocol surface or — worse — a message silently dropped on the floor,
+the classic unmodeled-ordering membership bug. Client-facing / payload
+classes opt out with a ``# repro: not-wire`` comment on their
+``class`` line.
 """
 
 import ast
@@ -71,7 +73,16 @@ def _wire_classes(module):
 
 
 def _dispatched_names(module):
-    """Class names appearing in isinstance checks or match-case patterns."""
+    """Class names appearing in dispatch arms.
+
+    Recognized forms: ``isinstance(msg, Cls)``, ``match``/``case``
+    class patterns, and exact-type identity comparisons — either
+    ``type(msg) is Cls`` inline or ``kind is Cls`` where ``kind`` is a
+    variable (the dispatcher hoists ``type(message)`` once). The
+    identity heuristic accepts any ``is``/``is not`` against a name;
+    collected names only count when they match a wire class, so the
+    looseness cannot hide one that is never compared against at all.
+    """
     names = set()
     for node in ast.walk(module.tree):
         if (
@@ -83,6 +94,11 @@ def _dispatched_names(module):
             names.update(_class_names(node.args[1]))
         elif isinstance(node, ast.MatchClass):
             names.update(_class_names(node.cls))
+        elif isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+        ):
+            for comparator in node.comparators:
+                names.update(_class_names(comparator))
     return names
 
 

@@ -1,0 +1,31 @@
+"""Recorded performance trajectory for the hot paths.
+
+``repro bench`` runs the kernel / LAN / trial / campaign
+micro-benchmarks defined in :mod:`repro.bench.suite`, appends the
+results to a versioned ``BENCH_kernel.json`` trajectory file, and
+compares against the previous recorded run so perf regressions fail
+loudly instead of accumulating silently. See ``docs/BENCHMARKS.md``.
+"""
+
+from repro.bench.runner import (
+    BENCH_FORMAT,
+    BenchComparison,
+    BenchRun,
+    compare_runs,
+    load_trajectory,
+    run_suite,
+    save_trajectory,
+)
+from repro.bench.suite import BENCHES, bench_names
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCHES",
+    "BenchComparison",
+    "BenchRun",
+    "bench_names",
+    "compare_runs",
+    "load_trajectory",
+    "run_suite",
+    "save_trajectory",
+]

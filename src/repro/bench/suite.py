@@ -1,0 +1,211 @@
+"""Benchmark workloads for the hot paths the experiments live on.
+
+Every workload here is a pure simulation run — deterministic, seeded,
+and free of wall-clock reads. The timing loop lives entirely in
+:mod:`repro.bench.runner`; this module only defines *what* work a
+bench performs and how many units of it were done, so the same
+workloads can be reused by the pytest-benchmark harness under
+``benchmarks/`` without duplicating setup code.
+
+Each entry in :data:`BENCHES` maps a bench name to a factory:
+``factory(scale) -> (run, unit)`` where ``run()`` executes the
+workload once and returns the number of ``unit``\\ s processed.
+Factories do their setup work eagerly so the timed call measures the
+hot loop, not harness construction; campaign benches deliberately
+include spec construction because that is part of real campaign cost.
+"""
+
+from repro.check.campaign import run_campaign_trials
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.scheduler import Scheduler
+from repro.sim.simulation import Simulation
+from repro.sim.timers import PeriodicTimer, Timer
+
+# Workload sizes per mode. "quick" keeps the whole suite under ~30s of
+# wall time for CI; "full" is the committed-trajectory configuration.
+SCALES = {
+    "quick": {
+        "kernel_events": {"n_events": 10_000},
+        "kernel_timer_churn": {"n_timers": 24, "duration": 40.0},
+        "lan_fanout": {"n_hosts": 10, "rounds": 60},
+        "failover_trial": {"trials": 1},
+        "campaign_serial": {"trials": 3, "horizon": 25.0, "workers": 1},
+        "campaign_parallel": {"trials": 4, "horizon": 25.0, "workers": 2},
+    },
+    "full": {
+        "kernel_events": {"n_events": 40_000},
+        "kernel_timer_churn": {"n_timers": 32, "duration": 120.0},
+        "lan_fanout": {"n_hosts": 10, "rounds": 200},
+        "failover_trial": {"trials": 1},
+        "campaign_serial": {"trials": 6, "horizon": 40.0, "workers": 1},
+        "campaign_parallel": {"trials": 8, "horizon": 40.0, "workers": 2},
+    },
+}
+
+
+def make_kernel_events(scale):
+    """Raw event throughput: one-shot callbacks through the scheduler."""
+    n_events = scale["n_events"]
+
+    def run():
+        scheduler = Scheduler()
+        after = scheduler.after
+        for index in range(n_events):
+            after(index * 0.001, _noop)
+        scheduler.run()
+        return scheduler.events_fired
+
+    return run, "events"
+
+
+def make_kernel_timer_churn(scale):
+    """Schedule/cancel-heavy workload mirroring GCS heartbeat refreshes.
+
+    ``n_timers`` fault-detection timeouts (3 s deadline) are refreshed
+    every 50 ms — the `heard_from` pattern — so nearly every scheduled
+    event is cancelled long before it fires and the heap fills with
+    dead entries. A few periodic heartbeat timers tick alongside.
+    Units are scheduler operations (timer (re)starts + events fired).
+    """
+    n_timers = scale["n_timers"]
+    duration = scale["duration"]
+    refresh_interval = 0.05
+    timeout = 3.0
+
+    def run():
+        scheduler = Scheduler()
+        fired = [0]
+
+        def on_timeout():
+            fired[0] += 1
+
+        timers = [Timer(scheduler, on_timeout) for _ in range(n_timers)]
+        beats = [
+            PeriodicTimer(scheduler, on_timeout, 0.5) for _ in range(4)
+        ]
+        for beat in beats:
+            beat.start()
+        restarts = [0]
+
+        def refresh():
+            for timer in timers:
+                timer.start(timeout)
+            restarts[0] += n_timers
+
+        refresher = PeriodicTimer(scheduler, refresh, refresh_interval)
+        refresher.start(first_delay=0.0)
+        scheduler.run(until=duration)
+        refresher.stop()
+        for beat in beats:
+            beat.stop()
+        for timer in timers:
+            timer.cancel()
+        return restarts[0] + scheduler.events_fired
+
+    return run, "events"
+
+
+def make_lan_fanout(scale):
+    """Per-frame LAN broadcast fan-out with the full UDP receive path."""
+    n_hosts = scale["n_hosts"]
+    rounds = scale["rounds"]
+
+    def run():
+        sim = Simulation(seed=0, trace_enabled=False)
+        lan = Lan(sim, "lan", "10.0.0.0/24")
+        hosts = []
+        for index in range(n_hosts):
+            host = Host(sim, "h{}".format(index))
+            host.add_nic(lan, "10.0.0.{}".format(1 + index))
+            host.open_udp(100, _udp_sink)
+            hosts.append(host)
+        for round_index in range(rounds):
+            hosts[round_index % n_hosts].send_udp(
+                round_index, "10.0.0.255", 100, src_port=1
+            )
+            sim.run_until_idle()
+        return lan.frames_delivered
+
+    return run, "frames"
+
+
+def make_failover_trial(scale):
+    """One full §6 fail-over trial (crash, detect, reallocate, recover)."""
+    from repro.experiments.runner import run_failover_trial
+    from repro.gcs.config import SpreadConfig
+
+    trials = scale["trials"]
+
+    def run():
+        for index in range(trials):
+            result = run_failover_trial(
+                seed=9000 + index, cluster_size=4, spread_config=SpreadConfig.tuned()
+            )
+            if result.interruption is None:
+                raise RuntimeError("fail-over trial did not complete")
+        return trials
+
+    return run, "trials"
+
+
+def _make_campaign(scale):
+    params = dict(
+        base_seed=20260806,
+        trials=scale["trials"],
+        n_servers=4,
+        n_vips=8,
+        horizon=scale["horizon"],
+        events_per_trial=8,
+        fixture="standard",
+    )
+    workers = scale["workers"]
+
+    def run():
+        results = run_campaign_trials(params, workers=workers)
+        verdicts = [result["verdict"] for result in results]
+        if verdicts != ["pass"] * params["trials"]:
+            raise RuntimeError("campaign bench produced {}".format(verdicts))
+        return len(results)
+
+    return run, "trials"
+
+
+def make_campaign_serial(scale):
+    """Campaign trial throughput, single process."""
+    return _make_campaign(scale)
+
+
+def make_campaign_parallel(scale):
+    """Campaign trial throughput across warm worker processes."""
+    return _make_campaign(scale)
+
+
+def _noop():
+    return None
+
+
+def _udp_sink(payload, src, dst):
+    return None
+
+
+BENCHES = {
+    "kernel_events": make_kernel_events,
+    "kernel_timer_churn": make_kernel_timer_churn,
+    "lan_fanout": make_lan_fanout,
+    "failover_trial": make_failover_trial,
+    "campaign_serial": make_campaign_serial,
+    "campaign_parallel": make_campaign_parallel,
+}
+
+
+def bench_names():
+    """All bench names in their canonical (sorted) order."""
+    return sorted(BENCHES)
+
+
+def build_workload(name, mode="quick"):
+    """Instantiate one bench: ``(run, unit, scale_dict)``."""
+    scale = SCALES[mode][name]
+    run, unit = BENCHES[name](scale)
+    return run, unit, scale

@@ -20,7 +20,14 @@ package *searches* for schedules that break them:
   bugs used to prove the campaign can actually find violations.
 """
 
-from repro.check.campaign import CampaignReport, build_specs, run_campaign
+from repro.check.campaign import (
+    CampaignReport,
+    build_specs,
+    build_trial_spec,
+    campaign_params,
+    run_campaign,
+    run_campaign_trials,
+)
 from repro.check.replay import load_artifact, replay
 from repro.check.schedule import FaultEvent, FaultSchedule, generate_schedule
 from repro.check.shrink import shrink_spec
@@ -31,11 +38,14 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "build_specs",
+    "build_trial_spec",
+    "campaign_params",
     "generate_schedule",
     "load_artifact",
     "make_spec",
     "replay",
     "run_campaign",
+    "run_campaign_trials",
     "run_trial",
     "shrink_spec",
 ]

@@ -8,6 +8,15 @@ process. Parallel fan-out uses ``concurrent.futures`` with the
 interpreter state (including its hash seed) and verdicts stay
 identical across serial and parallel modes.
 
+Campaign fan-out keeps the workers warm: the campaign parameters are
+shipped once per worker (pool initializer) and each submitted task is
+a bare trial index — the worker reconstructs the spec from
+``(base_seed, index)`` itself, since :func:`build_trial_spec` is a
+pure function of the parameters. Chunked submission amortizes the
+remaining IPC. The serial path builds specs through the exact same
+function, which is what makes the serial/parallel verdict-identity
+guarantee hold by construction.
+
 Failures are shrunk with ddmin and archived as JSON artifacts that
 :mod:`repro.check.replay` can re-run byte-identically.
 """
@@ -24,7 +33,7 @@ from repro.sim.rng import RngRegistry
 ARTIFACT_FORMAT = "repro-check/1"
 
 
-def build_specs(
+def campaign_params(
     base_seed=0,
     trials=16,
     n_servers=4,
@@ -34,44 +43,122 @@ def build_specs(
     fixture="standard",
     **spec_overrides,
 ):
+    """Normalize campaign keyword arguments into one plain dict.
+
+    The dict is small, JSON-compatible, and crosses the process
+    boundary once per worker; everything a trial needs is derived from
+    it plus a trial index.
+    """
+    return {
+        "base_seed": int(base_seed),
+        "trials": int(trials),
+        "n_servers": n_servers,
+        "n_vips": n_vips,
+        "horizon": horizon,
+        "events_per_trial": events_per_trial,
+        "fixture": fixture,
+        "spec_overrides": dict(spec_overrides),
+    }
+
+
+def build_trial_spec(params, index):
+    """The spec for trial ``index`` — a pure function of (params, index).
+
+    Forking a fresh registry per index is identical to forking one
+    shared registry repeatedly (forks depend only on the base seed and
+    the salt), which is what lets workers rebuild specs locally from
+    nothing but the campaign parameters and their assigned indices.
+    """
+    forked = RngRegistry(params["base_seed"]).fork("trial/{}".format(index))
+    schedule = generate_schedule(
+        forked.stream("schedule"),
+        n_hosts=params["n_servers"],
+        horizon=params["horizon"],
+        n_events=params["events_per_trial"],
+    )
+    return make_spec(
+        forked.seed,
+        schedule,
+        n_servers=params["n_servers"],
+        n_vips=params["n_vips"],
+        fixture=params["fixture"],
+        **params["spec_overrides"],
+    )
+
+
+def build_specs(**kwargs):
     """Deterministic trial specs: one forked registry per trial."""
-    registry = RngRegistry(base_seed)
-    specs = []
-    for index in range(int(trials)):
-        forked = registry.fork("trial/{}".format(index))
-        schedule = generate_schedule(
-            forked.stream("schedule"),
-            n_hosts=n_servers,
-            horizon=horizon,
-            n_events=events_per_trial,
+    params = campaign_params(**kwargs)
+    return [build_trial_spec(params, index) for index in range(params["trials"])]
+
+
+# Per-worker-process campaign parameters, installed once by the pool
+# initializer so each task submission is just a trial index.
+_WORKER_PARAMS = None
+
+
+def _campaign_worker_init(params):
+    global _WORKER_PARAMS
+    _WORKER_PARAMS = params
+
+
+def _campaign_worker_trial(index):
+    return run_trial(build_trial_spec(_WORKER_PARAMS, index))
+
+
+def _pool_context():
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def run_campaign_trials(params, workers=1):
+    """Run one campaign's trials from compact parameters.
+
+    ``params`` are the keyword arguments of :func:`build_specs` (or an
+    already-normalized :func:`campaign_params` dict). This is the
+    throughput-critical entry point benchmarked by ``repro bench``:
+    parallel mode ships ``params`` once per warm worker and submits
+    bare indices in chunks; verdicts are identical to the serial path
+    for any ``workers``.
+    """
+    if "spec_overrides" not in params:
+        params = campaign_params(**params)
+    trials = params["trials"]
+    if workers <= 1:
+        return [run_trial(build_trial_spec(params, index)) for index in range(trials)]
+    import concurrent.futures
+
+    chunksize = max(1, trials // (workers * 4))
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_campaign_worker_init,
+        initargs=(params,),
+    ) as pool:
+        return list(
+            pool.map(_campaign_worker_trial, range(trials), chunksize=chunksize)
         )
-        specs.append(
-            make_spec(
-                forked.seed,
-                schedule,
-                n_servers=n_servers,
-                n_vips=n_vips,
-                fixture=fixture,
-                **spec_overrides,
-            )
-        )
-    return specs
 
 
 def run_specs(specs, workers=1):
-    """Run trials serially (workers<=1) or across worker processes."""
+    """Run explicit trial specs serially or across worker processes.
+
+    Campaigns prefer :func:`run_campaign_trials` (workers rebuild
+    specs from indices); this entry point remains for replaying or
+    fanning out hand-built spec lists.
+    """
     if workers <= 1:
         return [run_trial(spec) for spec in specs]
     import concurrent.futures
-    import multiprocessing
 
-    mp_context = None
-    if "fork" in multiprocessing.get_all_start_methods():
-        mp_context = multiprocessing.get_context("fork")
+    chunksize = max(1, len(specs) // (workers * 4))
     with concurrent.futures.ProcessPoolExecutor(
-        max_workers=workers, mp_context=mp_context
+        max_workers=workers, mp_context=_pool_context()
     ) as pool:
-        return list(pool.map(run_trial, specs, chunksize=1))
+        return list(pool.map(run_trial, specs, chunksize=chunksize))
 
 
 class CampaignReport:
@@ -152,7 +239,7 @@ def run_campaign(
     **spec_overrides,
 ):
     """Generate, run, and post-process one campaign; returns a report."""
-    specs = build_specs(
+    params = campaign_params(
         base_seed=base_seed,
         trials=trials,
         n_servers=n_servers,
@@ -162,10 +249,11 @@ def run_campaign(
         fixture=fixture,
         **spec_overrides,
     )
+    specs = [build_trial_spec(params, index) for index in range(params["trials"])]
     # Wall-clock is fine here: elapsed time is reported to the operator
     # only and never feeds a trial verdict or an artifact.
     started = time.perf_counter()  # repro: allow det001
-    results = run_specs(specs, workers=workers)
+    results = run_campaign_trials(params, workers=workers)
     elapsed = time.perf_counter() - started  # repro: allow det001
 
     failures = []

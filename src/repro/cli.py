@@ -8,6 +8,7 @@
     python -m repro tuning
     python -m repro check --trials 32 --workers 4
     python -m repro observe --fault crash --format jsonl
+    python -m repro bench --quick
     python -m repro lint src/repro --format json
     python -m repro all
 
@@ -120,6 +121,42 @@ def build_parser():
         help="simulated seconds to observe after the fault",
     )
     observe.add_argument("--format", choices=("text", "jsonl"), default="text")
+
+    bench = sub.add_parser(
+        "bench", help="hot-path micro-benchmarks with a recorded trajectory"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small CI-sized workloads instead of the full suite",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_kernel.json", metavar="FILE",
+        help="trajectory file to compare against and append to",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="fail when a bench median slows by more than this (default 0.25)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="repetitions per bench (default: 3 quick, 5 full)",
+    )
+    bench.add_argument(
+        "--benches", default=None, metavar="NAME[,NAME...]",
+        help="run only these benches (default: all)",
+    )
+    bench.add_argument(
+        "--no-compare", action="store_true",
+        help="skip the regression gate against the previous run",
+    )
+    bench.add_argument(
+        "--no-write", action="store_true",
+        help="do not append this run to the trajectory file",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_benches",
+        help="print the bench names and exit",
+    )
 
     lint = sub.add_parser(
         "lint", help="determinism & protocol-invariant static analysis"
@@ -249,6 +286,41 @@ def _run_observe(args, out):
     return 0
 
 
+def _run_bench(args, out):
+    from repro.bench import (
+        bench_names,
+        compare_runs,
+        load_trajectory,
+        run_suite,
+        save_trajectory,
+    )
+
+    if args.list_benches:
+        for name in bench_names():
+            out(name)
+        return 0
+    mode = "quick" if args.quick else "full"
+    names = None
+    if args.benches:
+        names = [name for name in args.benches.split(",") if name]
+    current = run_suite(mode=mode, names=names, repeats=args.repeat, progress=out)
+    out(current.format())
+    runs = load_trajectory(args.output)
+    code = 0
+    if not args.no_compare:
+        comparison = compare_runs(runs, current, threshold=args.threshold)
+        out(comparison.format())
+        if not comparison.ok:
+            out(
+                "bench regression(s): {}".format(", ".join(comparison.regressions))
+            )
+            code = 1
+    if not args.no_write:
+        save_trajectory(args.output, runs + [current])
+        out("trajectory appended to {}".format(args.output))
+    return code
+
+
 def _run_lint(args, out):
     if args.list_rules:
         for rule in all_rules():
@@ -307,6 +379,7 @@ def main(argv=None, out=print):
         "availability": _run_availability,
         "check": _run_check,
         "observe": _run_observe,
+        "bench": _run_bench,
         "lint": _run_lint,
     }
     if args.command == "all":

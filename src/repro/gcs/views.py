@@ -22,7 +22,14 @@ class ViewId:
         return (self.counter, self.rep)
 
     def __eq__(self, other):
-        return isinstance(other, ViewId) and self.key() == other.key()
+        # Inlined key comparison: equality runs on every received
+        # heartbeat/ordered message, and building two tuples per call
+        # shows up in campaign profiles.
+        return (
+            isinstance(other, ViewId)
+            and self.counter == other.counter
+            and self.rep == other.rep
+        )
 
     def __lt__(self, other):
         return self.key() < other.key()

@@ -12,6 +12,14 @@ class IPAddress:
 
     __slots__ = ("_value",)
 
+    def __new__(cls, address):
+        # Converting an address that is already an IPAddress is a hot
+        # no-op on the packet path; being immutable, the instance can
+        # be returned as-is instead of allocating a copy.
+        if type(address) is cls:
+            return address
+        return super().__new__(cls)
+
     def __init__(self, address):
         if isinstance(address, IPAddress):
             self._value = address._value
@@ -74,6 +82,13 @@ class MACAddress:
 
     __slots__ = ("_value",)
 
+    def __new__(cls, address):
+        # Same identity fast path as IPAddress: immutable, so a
+        # MACAddress-to-MACAddress conversion allocates nothing.
+        if type(address) is cls:
+            return address
+        return super().__new__(cls)
+
     def __init__(self, address):
         if isinstance(address, MACAddress):
             self._value = address._value
@@ -132,13 +147,14 @@ BROADCAST_MAC = MACAddress(0xFFFFFFFFFFFF)
 class Subnet:
     """An IPv4 subnet in CIDR form, e.g. ``Subnet('192.168.0.0/24')``."""
 
-    __slots__ = ("network", "prefix", "_mask")
+    __slots__ = ("network", "prefix", "_mask", "_broadcast")
 
     def __init__(self, cidr):
         if isinstance(cidr, Subnet):
             self.network = cidr.network
             self.prefix = cidr.prefix
             self._mask = cidr._mask
+            self._broadcast = cidr._broadcast
             return
         base, _, prefix_text = cidr.partition("/")
         if not prefix_text:
@@ -149,14 +165,21 @@ class Subnet:
         self.prefix = prefix
         self._mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
         self.network = IPAddress(IPAddress(base).value & self._mask)
+        # Precomputed once: the broadcast address sits on the per-packet
+        # delivery path (every LAN broadcast compares against it), and a
+        # Subnet is immutable, so building a fresh IPAddress per lookup
+        # is pure allocation churn.
+        self._broadcast = IPAddress(self.network.value | (~self._mask & 0xFFFFFFFF))
 
     def __contains__(self, address):
-        return (IPAddress(address).value & self._mask) == self.network.value
+        if type(address) is not IPAddress:
+            address = IPAddress(address)
+        return (address._value & self._mask) == self.network._value
 
     @property
     def broadcast_address(self):
         """The all-ones host address of this subnet."""
-        return IPAddress(self.network.value | (~self._mask & 0xFFFFFFFF))
+        return self._broadcast
 
     def host(self, index):
         """The ``index``-th host address within the subnet."""

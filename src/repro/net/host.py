@@ -139,11 +139,13 @@ class Host(Process):
 
     def _deliver_local(self, packet):
         datagram = packet.payload
-        if not isinstance(datagram, UdpDatagram):
+        if type(datagram) is not UdpDatagram:
             self.packets_dropped += 1
             return
+        dst_ip = packet.dst_ip
+        dst_port = datagram.dst_port
         for socket in self._sockets:
-            if socket.matches(packet.dst_ip, datagram.dst_port):
+            if socket.matches(dst_ip, dst_port):
                 if self._load_mean_delay > 0 and not socket.realtime:
                     delay = self._load_rng.expovariate(1.0 / self._load_mean_delay)
                     self.sim.scheduler.after(
@@ -184,7 +186,8 @@ class Host(Process):
         """Build and route one UDP/IP packet."""
         if not self.alive:
             return
-        dst_ip = IPAddress(dst_ip)
+        if type(dst_ip) is not IPAddress:
+            dst_ip = IPAddress(dst_ip)
         datagram = UdpDatagram(src_port, int(dst_port), payload)
         nic = self._output_nic(dst_ip)
         if nic is None:
@@ -196,8 +199,9 @@ class Host(Process):
         if src_ip is None:
             self.packets_dropped += 1
             return
-        packet = IpPacket(IPAddress(src_ip), dst_ip, datagram)
-        self.send_ip(packet)
+        if type(src_ip) is not IPAddress:
+            src_ip = IPAddress(src_ip)
+        self.send_ip(IpPacket(src_ip, dst_ip, datagram))
 
     # ------------------------------------------------------------------
     # IP output routing

@@ -6,9 +6,18 @@ as the sender. Partitioning a LAN into groups models the switch
 failures the paper mentions (§3.1 footnote); healing restores a single
 group. Unicast frames reach the interface(s) owning the destination
 MAC; broadcast frames reach everyone in the group.
+
+Recipient sets are precomputed and cached — broadcast fan-out lists
+per source NIC and a MAC index for unicast — and invalidated whenever
+topology or partition groups change. The cached lists preserve attach
+order (the order the old per-frame scan used), so the loss/jitter RNG
+draw sequence, and with it every trace and verdict, is byte-identical
+to the uncached path.
 """
 
 from repro.net.addresses import Subnet
+
+_NO_NICS = ()
 
 
 class Lan:
@@ -23,6 +32,8 @@ class Lan:
         self.loss = float(loss)
         self._nics = []
         self._groups = {}
+        self._bcast_cache = {}  # src nic -> tuple of same-group recipients
+        self._mac_index = None  # mac -> tuple of owning nics, attach order
         self._rng = sim.rng.stream("lan/{}".format(name))
         self.frames_sent = 0
         self.frames_delivered = 0
@@ -37,12 +48,14 @@ class Lan:
         """Register an interface on this segment (called by Nic)."""
         self._nics.append(nic)
         self._groups[nic] = 0
+        self._invalidate()
 
     def detach(self, nic):
         """Remove an interface from the segment."""
         if nic in self._groups:
             self._nics.remove(nic)
             del self._groups[nic]
+            self._invalidate()
 
     @property
     def nics(self):
@@ -63,6 +76,7 @@ class Lan:
                     assignment[nic] = index
         for nic in self._nics:
             self._groups[nic] = assignment.get(nic, 0)
+        self._invalidate()
         self.sim.trace.emit(
             "lan", self.name, "partition", groups=sorted(self._groups.values())
         )
@@ -71,6 +85,7 @@ class Lan:
         """Merge all groups back into one broadcast domain."""
         for nic in self._nics:
             self._groups[nic] = 0
+        self._invalidate()
         self.sim.trace.emit("lan", self.name, "heal")
 
     def group_of(self, nic):
@@ -82,6 +97,29 @@ class Lan:
             return [nic for nic in member.nics if nic.lan is self]
         return [member]
 
+    def _invalidate(self):
+        # Any attach/detach/partition/heal drops the cached recipient
+        # lists; they are rebuilt lazily on the next frame.
+        self._bcast_cache.clear()
+        self._mac_index = None
+
+    def _broadcast_recipients(self, src_nic):
+        group = self._groups[src_nic]
+        groups = self._groups
+        recipients = tuple(
+            nic for nic in self._nics if nic is not src_nic and groups[nic] == group
+        )
+        self._bcast_cache[src_nic] = recipients
+        return recipients
+
+    def _build_mac_index(self):
+        index = {}
+        for nic in self._nics:
+            index.setdefault(nic.mac, []).append(nic)
+        index = {mac: tuple(nics) for mac, nics in index.items()}
+        self._mac_index = index
+        return index
+
     def connected(self, nic_a, nic_b):
         """True when two interfaces can currently exchange frames."""
         return self._groups[nic_a] == self._groups[nic_b]
@@ -90,27 +128,50 @@ class Lan:
         """Deliver ``frame`` from ``src_nic`` per MAC addressing rules."""
         self.frames_sent += 1
         self._m_sent.inc()
-        src_group = self._groups[src_nic]
-        broadcast = frame.dst_mac.is_broadcast
-        if broadcast:
+        dst_mac = frame.dst_mac
+        if dst_mac.is_broadcast:
             self._m_broadcast.inc()
-        for nic in self._nics:
-            if nic is src_nic:
+            recipients = self._bcast_cache.get(src_nic)
+            if recipients is None:
+                recipients = self._broadcast_recipients(src_nic)
+        else:
+            index = self._mac_index
+            if index is None:
+                index = self._build_mac_index()
+            owners = index.get(dst_mac, _NO_NICS)
+            if not owners:
+                return
+            groups = self._groups
+            src_group = groups[src_nic]
+            recipients = [
+                nic
+                for nic in owners
+                if nic is not src_nic and groups[nic] == src_group
+            ]
+        if not recipients:
+            return
+        after = self.sim.scheduler.after
+        loss = self.loss
+        jitter = self.jitter
+        latency = self.latency
+        rng = self._rng
+        delivered = 0
+        lost = 0
+        for nic in recipients:
+            if loss and rng.random() < loss:
+                lost += 1
                 continue
-            if self._groups[nic] != src_group:
-                continue
-            if not broadcast and nic.mac != frame.dst_mac:
-                continue
-            if self.loss and self._rng.random() < self.loss:
-                self.frames_lost += 1
-                self._m_lost.inc()
-                continue
-            delay = self.latency
-            if self.jitter:
-                delay += self._rng.uniform(0.0, self.jitter)
-            self.frames_delivered += 1
-            self._m_delivered.inc()
-            self.sim.scheduler.after(delay, nic.deliver, frame)
+            delay = latency
+            if jitter:
+                delay += rng.uniform(0.0, jitter)
+            delivered += 1
+            after(delay, nic.deliver, frame)
+        if lost:
+            self.frames_lost += lost
+            self._m_lost.inc(lost)
+        if delivered:
+            self.frames_delivered += delivered
+            self._m_delivered.inc(delivered)
 
     def __repr__(self):
         return "Lan({}, {}, {} nics)".format(self.name, self.subnet, len(self._nics))

@@ -72,7 +72,9 @@ class Nic:
 
     def owns_ip(self, address):
         """True when ``address`` is currently bound here."""
-        return IPAddress(address) in self._bound
+        if type(address) is not IPAddress:
+            address = IPAddress(address)
+        return address in self._bound
 
     def set_up(self, up):
         """Administratively raise or lower the interface."""

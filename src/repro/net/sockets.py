@@ -17,6 +17,9 @@ class UdpSocket:
     deliveries bypass the host's load-induced scheduling delay.
     """
 
+    __slots__ = ("host", "port", "handler", "bind_ip", "realtime", "closed",
+                 "received", "sent")
+
     def __init__(self, host, port, handler, bind_ip=None, realtime=False):
         self.host = host
         self.port = int(port)

@@ -2,25 +2,35 @@
 
 An :class:`Event` is the handle returned by the scheduler for every
 scheduled callback. Holders can cancel it; the scheduler skips cancelled
-events cheaply instead of removing them from the heap.
+events cheaply instead of removing them from the heap, and compacts the
+heap in bulk once dead entries dominate (see ``Scheduler._note_cancel``).
 """
 
 
 class Event:
     """A single scheduled callback, cancellable by its holder."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "owner")
 
-    def __init__(self, time, seq, callback, args):
+    def __init__(self, time, seq, callback, args, owner=None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.owner = owner
 
     def cancel(self):
-        """Prevent the callback from running; safe to call repeatedly."""
-        self.cancelled = True
+        """Prevent the callback from running; safe to call repeatedly.
+
+        Cancelling a live (not yet fired) event tells the owning
+        scheduler, which tracks the dead-entry count for O(1) idle
+        checks and periodic heap compaction.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self.callback is not None and self.owner is not None:
+                self.owner._note_cancel()
 
     @property
     def pending(self):

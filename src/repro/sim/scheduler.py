@@ -4,12 +4,32 @@ A binary-heap event queue over (time, sequence) keys. The sequence
 number makes execution order deterministic for events scheduled at the
 same simulated instant: they run in scheduling order (FIFO), which is
 what message-passing protocols expect.
+
+Cancellation is lazy — a cancelled event stays in the heap with a flag
+set — but the scheduler tracks the dead-entry count and compacts the
+heap in bulk once cancelled entries dominate. Timer-heavy protocols
+(GCS heartbeat refreshes cancel a timeout per message received) would
+otherwise grow the heap with corpses that every push and pop pays log
+time for. Compaction filters the backing list in place and re-heapifies;
+because (time, seq) is a total order, the pop sequence — and therefore
+every trace, verdict, and metric — is byte-identical with or without it.
+
+Heap entries are ``(time, seq, event)`` tuples rather than bare events:
+seq is unique, so sift comparisons are decided by the first two fields
+and run entirely as C tuple comparisons instead of calling back into
+``Event.__lt__`` — the single hottest call in timer-churn profiles.
 """
 
 import heapq
 
 from repro.sim.errors import SchedulerError
 from repro.sim.events import Event
+
+# Compact when at least this many dead entries have accumulated AND
+# they make up half the heap. The floor keeps tiny simulations from
+# re-heapifying constantly; the ratio bounds wasted heap space (and
+# per-operation log cost) at 2x the live size.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Scheduler:
@@ -19,6 +39,7 @@ class Scheduler:
         self._now = float(start_time)
         self._seq = 0
         self._heap = []
+        self._cancelled = 0  # dead entries currently in the heap
         self._running = False
         self._events_fired = 0
         self._m_events = None
@@ -29,8 +50,9 @@ class Scheduler:
 
         Left unbound — e.g. when the owning Simulation disables metrics
         — the run loop pays a single ``is None`` test per event. The
-        queue-depth series is sampled every 64th event (plus once per
-        ``run`` call) to keep the per-event cost to a counter add.
+        queue-depth series reports *live* (non-cancelled) depth and is
+        sampled every 64th event (plus once per ``run`` call) to keep
+        the per-event cost to a comparison.
         """
         self._m_events = registry.counter("sim.events_fired", node="scheduler")
         self._m_depth = registry.timeseries("sim.queue_depth", node="scheduler")
@@ -42,8 +64,12 @@ class Scheduler:
 
     @property
     def pending_count(self):
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still in the queue.
+
+        Cancelled-but-not-yet-compacted heap entries are excluded, so
+        this is the real backlog a ``run`` call would execute.
+        """
+        return len(self._heap) - self._cancelled
 
     @property
     def events_fired(self):
@@ -56,16 +82,64 @@ class Scheduler:
             raise SchedulerError(
                 "cannot schedule at {:.6f}, now is {:.6f}".format(time, self._now)
             )
-        event = Event(float(time), self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(float(time), seq, callback, args, self)
+        heapq.heappush(self._heap, (event.time, seq, event))
         return event
 
     def after(self, delay, callback, *args):
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise SchedulerError("negative delay: {}".format(delay))
-        return self.at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        return event
+
+    def reschedule(self, event, delay, callback, *args):
+        """Re-arm a fired event object ``delay`` seconds from now.
+
+        Allocation-free fast path for repeating and restartable timers:
+        the returned handle is ``event`` itself, re-keyed with a fresh
+        sequence number, so execution order is identical to scheduling
+        a brand-new event. Only an event that has already fired may be
+        reused — a pending or cancelled one is still a live heap entry
+        and reusing it would corrupt the queue.
+        """
+        if delay < 0:
+            raise SchedulerError("negative delay: {}".format(delay))
+        if event.callback is not None:
+            raise SchedulerError(
+                "cannot reschedule an event still in the queue: {!r}".format(event)
+            )
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event.owner = self
+        heapq.heappush(self._heap, (time, seq, event))
+        return event
+
+    def _note_cancel(self):
+        # Called by Event.cancel for live heap entries. Once corpses
+        # are both numerous and the majority, rebuild the heap without
+        # them — in place, so a running loop's local alias stays valid.
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._heap)
+        ):
+            heap = self._heap
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     def run(self, until=None, max_events=None):
         """Execute events in order.
@@ -78,30 +152,35 @@ class Scheduler:
         if self._running:
             raise SchedulerError("scheduler is already running (reentrant run call)")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        m_depth = self._m_depth
+        base = self._events_fired
         fired = 0
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and fired >= max_events:
                     break
-                event = self._heap[0]
+                time, _seq, event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
+                pop(heap)
+                self._now = time
                 event.fire()
                 fired += 1
-                self._events_fired += 1
-                if self._m_events is not None:
-                    self._m_events.inc()
-                    if not self._events_fired & 63:
-                        self._m_depth.observe(len(self._heap))
+                if m_depth is not None and not (base + fired) & 63:
+                    m_depth.observe(len(heap) - self._cancelled)
         finally:
             self._running = False
-        if fired and self._m_depth is not None:
-            self._m_depth.observe(len(self._heap))
+            self._events_fired = base + fired
+            if fired and self._m_events is not None:
+                self._m_events.inc(fired)
+        if fired and m_depth is not None:
+            m_depth.observe(len(heap) - self._cancelled)
         if until is not None and self._now < until:
             self._now = float(until)
         return fired
@@ -109,19 +188,22 @@ class Scheduler:
     def run_until_idle(self, max_events=10_000_000):
         """Run until no events remain; guard against runaway loops."""
         fired = self.run(max_events=max_events)
-        if self._heap and self._live_events_remain():
+        if self._live_events_remain():
             raise SchedulerError(
                 "run_until_idle exceeded max_events={} with events pending".format(max_events)
             )
         return fired
 
     def _live_events_remain(self):
-        return any(not event.cancelled for event in self._heap)
+        # O(1): the cancelled count makes the live size arithmetic.
+        return len(self._heap) > self._cancelled
 
     def next_event_time(self):
         """Time of the next live event, or None if the queue is idle."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]

@@ -19,11 +19,16 @@ class Simulation:
         seed=0,
         trace_enabled=True,
         trace_capacity=None,
+        trace_categories=None,
         metrics_enabled=True,
     ):
         self.scheduler = Scheduler()
         self.rng = RngRegistry(seed)
-        self.trace = TraceLog(enabled=trace_enabled, capacity=trace_capacity)
+        self.trace = TraceLog(
+            enabled=trace_enabled,
+            capacity=trace_capacity,
+            categories=trace_categories,
+        )
         self.trace.bind_clock(lambda: self.scheduler.now)
         self.metrics = MetricsRegistry(
             clock=lambda: self.scheduler.now, enabled=metrics_enabled

@@ -3,6 +3,15 @@
 Protocol code (heartbeats, fault-detection timeouts, balance timers)
 uses these instead of raw scheduler events so that restarting or
 cancelling a timeout is a one-line operation.
+
+Both timer classes recycle their Event objects through
+:meth:`Scheduler.reschedule` where possible: a periodic timer reuses
+the event that just ticked for the next tick, and a one-shot timer
+keeps its last fired event as a spare for the next ``start``. Events
+cancelled while still pending cannot be recycled (they remain lazily
+in the scheduler's heap), so refresh-heavy timeouts fall back to a
+fresh allocation — the scheduler's heap compaction keeps that pattern
+cheap.
 """
 
 
@@ -17,6 +26,7 @@ class Timer:
         self._scheduler = scheduler
         self._callback = callback
         self._event = None
+        self._spare = None
         self.name = name
 
     @property
@@ -34,7 +44,12 @@ class Timer:
     def start(self, delay):
         """Arm (or re-arm) the timer to fire after ``delay`` seconds."""
         self.cancel()
-        self._event = self._scheduler.after(delay, self._fire)
+        spare = self._spare
+        if spare is None:
+            self._event = self._scheduler.after(delay, self._fire)
+        else:
+            self._spare = None
+            self._event = self._scheduler.reschedule(spare, delay, self._fire)
 
     def cancel(self):
         """Disarm the timer if it is pending."""
@@ -43,6 +58,7 @@ class Timer:
             self._event = None
 
     def _fire(self):
+        self._spare = self._event
         self._event = None
         self._callback()
 
@@ -77,5 +93,9 @@ class PeriodicTimer:
             self._event = None
 
     def _tick(self):
-        self._event = self._scheduler.after(self.interval, self._tick)
+        # The event that just fired is dead; recycle it for the next
+        # tick instead of allocating one per interval.
+        self._event = self._scheduler.reschedule(
+            self._event, self.interval, self._tick
+        )
         self._callback()

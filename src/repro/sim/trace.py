@@ -27,40 +27,79 @@ class TraceRecord:
 class TraceLog:
     """Append-only event log with simple filtering helpers.
 
-    Two bounded-resource behaviours are intended semantics (tests pin
+    Three bounded-resource behaviours are intended semantics (tests pin
     them):
 
     * ``capacity`` — when set, only the most recent ``capacity``
       records are retained, oldest trimmed first; per-(category, event)
       counters keep counting every emit, so :meth:`count` reports
-      totals over the whole run even after trimming.
+      totals over the whole run even after trimming. Trimming is
+      amortized: internally the backing list keeps a dead prefix and
+      compacts it in bulk, so ``emit`` stays O(1) instead of shifting
+      ``capacity`` records on every append. :attr:`records` always
+      shows exactly the retained window.
     * ``enabled=False`` — records are dropped entirely (``emit``
       returns None) but the counters still increment: cheap soak runs
       keep aggregate statistics without storing per-event records.
+    * ``categories`` — when set (an iterable of category names), only
+      records in those categories are stored; everything else is
+      dropped after counting, exactly like the disabled path. This is
+      the fast path for runs that only care about, say, ``episode``
+      and ``gcs`` records.
     """
 
-    def __init__(self, clock=None, enabled=True, capacity=None):
+    def __init__(self, clock=None, enabled=True, capacity=None, categories=None):
         self._clock = clock
         self.enabled = enabled
         self.capacity = capacity
-        self.records = []
+        self._records = []
+        self._start = 0  # dead-prefix length of _records (amortized trim)
         self._counts = {}
+        self._categories = frozenset(categories) if categories is not None else None
 
     def bind_clock(self, clock):
         """Attach the callable returning current simulated time."""
         self._clock = clock
 
+    @property
+    def records(self):
+        """The retained records, oldest first."""
+        if self._start:
+            return self._records[self._start:]
+        return self._records
+
+    @property
+    def categories(self):
+        """The category filter (frozenset), or None when unfiltered."""
+        return self._categories
+
+    def filter_categories(self, categories):
+        """Store only these categories from now on (None clears the filter)."""
+        self._categories = frozenset(categories) if categories is not None else None
+
     def emit(self, category, source, event, **details):
         """Record one event; drops silently when tracing is disabled."""
         key = (category, event)
-        self._counts[key] = self._counts.get(key, 0) + 1
+        counts = self._counts
+        counts[key] = counts.get(key, 0) + 1
         if not self.enabled:
             return None
-        time = self._clock() if self._clock is not None else 0.0
-        record = TraceRecord(time, category, source, event, details)
-        self.records.append(record)
-        if self.capacity is not None and len(self.records) > self.capacity:
-            del self.records[: len(self.records) - self.capacity]
+        categories = self._categories
+        if categories is not None and category not in categories:
+            return None
+        clock = self._clock
+        record = TraceRecord(
+            clock() if clock is not None else 0.0, category, source, event, details
+        )
+        records = self._records
+        records.append(record)
+        capacity = self.capacity
+        if capacity is not None and len(records) - self._start > capacity:
+            start = self._start + 1
+            if start >= capacity:
+                del records[:start]
+                start = 0
+            self._start = start
         return record
 
     def count(self, category, event=None):
@@ -88,7 +127,9 @@ class TraceLog:
         """The most recent ``n`` records, oldest first."""
         if n <= 0:
             return []
-        return list(self.records[-n:])
+        records = self._records
+        start = max(self._start, len(records) - n)
+        return records[start:]
 
     def last(self, category=None, source=None, event=None):
         """Most recent matching record, or None."""
@@ -97,7 +138,8 @@ class TraceLog:
 
     def clear(self):
         """Drop all records and counters."""
-        self.records.clear()
+        self._records = []
+        self._start = 0
         self._counts.clear()
 
     def format(self, category=None, source=None, event=None):

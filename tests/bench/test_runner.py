@@ -1,0 +1,145 @@
+"""Unit tests for the bench harness: trajectory file and comparisons."""
+
+import json
+
+import pytest
+
+# bench_names is aliased: the project's pytest config collects bench_*
+# functions (for benchmarks/), and a bare import would be run as a test.
+from repro.bench import (
+    BENCH_FORMAT,
+    BenchRun,
+    compare_runs,
+    load_trajectory,
+    run_suite,
+    save_trajectory,
+)
+from repro.bench import bench_names as _bench_names
+from repro.bench.runner import HISTORY_LIMIT, previous_run, run_bench
+from repro.bench.suite import SCALES, build_workload
+
+
+def make_run(mode="quick", rev="abc1234", **medians):
+    benches = {
+        name: {
+            "median_s": median,
+            "per_s": 1000.0,
+            "unit": "events",
+            "units": 100,
+            "samples": [median],
+        }
+        for name, median in medians.items()
+    }
+    return BenchRun(mode, rev, benches)
+
+
+def test_bench_names_cover_required_hot_paths():
+    names = _bench_names()
+    assert "kernel_timer_churn" in names
+    assert "campaign_parallel" in names
+    assert names == sorted(names)
+    # Every bench has both a quick and a full scale.
+    for mode in ("quick", "full"):
+        assert set(SCALES[mode]) == set(names)
+
+
+def test_build_workload_returns_runnable_and_unit():
+    run, unit, scale = build_workload("lan_fanout", "quick")
+    assert unit == "frames"
+    units = run()
+    # Every round broadcasts to all other hosts (plus their ARP replies,
+    # delivered as unicast frames) — deterministic, so pin the count.
+    assert units == run()
+    assert units >= scale["rounds"] * (scale["n_hosts"] - 1)
+
+
+def test_run_bench_records_samples_and_median():
+    result = run_bench("lan_fanout", mode="quick", repeats=3)
+    assert len(result["samples"]) == 3
+    assert result["median_s"] == sorted(result["samples"])[1]
+    assert result["units"] > 0
+    assert result["per_s"] > 0
+
+
+def test_run_suite_selects_names_and_rejects_unknown():
+    run = run_suite(mode="quick", names=["lan_fanout"], repeats=1)
+    assert set(run.benches) == {"lan_fanout"}
+    assert run.mode == "quick"
+    with pytest.raises(ValueError):
+        run_suite(mode="quick", names=["no_such_bench"], repeats=1)
+
+
+def test_trajectory_roundtrip(tmp_path):
+    path = tmp_path / "BENCH.json"
+    runs = [make_run(kernel_events=0.5), make_run(kernel_events=0.4)]
+    save_trajectory(path, runs)
+    data = json.loads(path.read_text())
+    assert data["format"] == BENCH_FORMAT
+    loaded = load_trajectory(path)
+    assert [r.benches["kernel_events"]["median_s"] for r in loaded] == [0.5, 0.4]
+    assert loaded[0].mode == "quick" and loaded[0].rev == "abc1234"
+
+
+def test_load_trajectory_missing_file_is_empty(tmp_path):
+    assert load_trajectory(tmp_path / "missing.json") == []
+
+
+def test_load_trajectory_rejects_foreign_format(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"format": "something-else", "runs": []}))
+    with pytest.raises(ValueError):
+        load_trajectory(path)
+
+
+def test_save_trajectory_caps_history(tmp_path):
+    path = tmp_path / "BENCH.json"
+    runs = [make_run(kernel_events=float(i)) for i in range(HISTORY_LIMIT + 7)]
+    save_trajectory(path, runs)
+    loaded = load_trajectory(path)
+    assert len(loaded) == HISTORY_LIMIT
+    # Oldest entries are dropped, most recent kept.
+    assert loaded[-1].benches["kernel_events"]["median_s"] == float(HISTORY_LIMIT + 6)
+
+
+def test_previous_run_matches_mode_only():
+    runs = [
+        make_run(mode="full", kernel_events=0.9),
+        make_run(mode="quick", kernel_events=0.2),
+    ]
+    assert previous_run(runs, "full").benches["kernel_events"]["median_s"] == 0.9
+    assert previous_run(runs, "quick").benches["kernel_events"]["median_s"] == 0.2
+    assert previous_run(runs, "full").mode == "full"
+    assert previous_run([], "full") is None
+
+
+def test_compare_runs_flags_regressions_over_threshold():
+    baseline = make_run(kernel_events=0.100, lan_fanout=0.100)
+    current = make_run(kernel_events=0.124, lan_fanout=0.126)
+    comparison = compare_runs([baseline], current, threshold=0.25)
+    assert comparison.regressions == ["lan_fanout"]
+    assert not comparison.ok
+    assert "REGRESSION" in comparison.format()
+
+
+def test_compare_runs_ok_when_faster_or_within_threshold():
+    baseline = make_run(kernel_events=0.100)
+    current = make_run(kernel_events=0.060)
+    comparison = compare_runs([baseline], current, threshold=0.25)
+    assert comparison.ok
+    (name, old_s, new_s, speedup) = comparison.rows[0]
+    assert name == "kernel_events"
+    assert speedup == pytest.approx(0.100 / 0.060)
+
+
+def test_compare_runs_without_baseline_is_ok():
+    comparison = compare_runs([], make_run(kernel_events=0.1), threshold=0.25)
+    assert comparison.ok
+    assert comparison.rows == []
+    assert "no previous" in comparison.format()
+
+
+def test_compare_ignores_other_mode_baselines():
+    baseline = make_run(mode="full", kernel_events=0.001)  # would be a regression
+    current = make_run(mode="quick", kernel_events=1.0)
+    comparison = compare_runs([baseline], current, threshold=0.25)
+    assert comparison.ok and comparison.rows == []

@@ -104,3 +104,45 @@ def test_report_format_mentions_failures(tmp_path):
     text = report.format()
     assert "FAILURE" in text
     assert "shrunk to" in text
+
+
+# ----------------------------------------------------------------------
+# warm-worker fan-out: spec purity and serial/parallel identity
+
+
+def test_build_trial_spec_is_pure_and_matches_build_specs():
+    from repro.check import build_trial_spec, campaign_params
+
+    params = campaign_params(base_seed=11, trials=4, horizon=20.0, events_per_trial=4)
+    specs = build_specs(base_seed=11, trials=4, horizon=20.0, events_per_trial=4)
+    rebuilt = [build_trial_spec(params, index) for index in range(4)]
+    assert rebuilt == specs
+    # Same (params, index) -> same spec, regardless of build order.
+    assert build_trial_spec(params, 2) == specs[2]
+
+
+def test_parallel_verdicts_identical_to_serial():
+    from repro.check import campaign_params, run_campaign_trials
+
+    params = campaign_params(
+        base_seed=5, trials=4, horizon=20.0, events_per_trial=4, fixture="standard"
+    )
+    serial = run_campaign_trials(params, workers=1)
+    parallel = run_campaign_trials(params, workers=2)
+    assert serial == parallel
+
+
+def test_run_campaign_trials_accepts_raw_kwargs_dict():
+    from repro.check import campaign_params, run_campaign_trials
+
+    raw = {"base_seed": 5, "trials": 2, "horizon": 20.0, "events_per_trial": 4}
+    normalized = campaign_params(**raw)
+    assert run_campaign_trials(raw) == run_campaign_trials(normalized)
+
+
+def test_run_specs_matches_campaign_trials_for_same_specs():
+    from repro.check import build_trial_spec, campaign_params, run_campaign_trials
+
+    params = campaign_params(base_seed=5, trials=2, horizon=20.0, events_per_trial=4)
+    specs = [build_trial_spec(params, index) for index in range(2)]
+    assert run_specs(specs) == run_campaign_trials(params)

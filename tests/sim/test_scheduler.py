@@ -176,3 +176,134 @@ def test_reentrant_run_is_rejected():
     scheduler.after(0.1, reenter)
     scheduler.run()
     assert len(errors) == 1
+
+
+# ----------------------------------------------------------------------
+# lazy cancellation, compaction, and event recycling
+
+
+def test_pending_count_excludes_cancelled_events():
+    scheduler = Scheduler()
+    events = [scheduler.after(1.0, lambda: None) for _ in range(5)]
+    events[0].cancel()
+    events[3].cancel()
+    assert scheduler.pending_count == 3
+
+
+def test_until_and_max_events_combined_stop_at_first_limit():
+    scheduler = Scheduler()
+    fired = []
+    for index in range(10):
+        scheduler.after(0.1 * (index + 1), fired.append, index)
+    # max_events binds first: only 2 of the 5 events before until=0.55.
+    assert scheduler.run(until=0.55, max_events=2) == 2
+    assert fired == [0, 1]
+    # until binds next; the clock still lands exactly on until.
+    assert scheduler.run(until=0.55, max_events=100) == 3
+    assert fired == [0, 1, 2, 3, 4]
+    assert scheduler.now == 0.55
+
+
+def test_event_exactly_at_until_fires():
+    scheduler = Scheduler()
+    fired = []
+    scheduler.after(1.0, fired.append, "at")
+    scheduler.after(1.0 + 1e-9, fired.append, "after")
+    scheduler.run(until=1.0)
+    assert fired == ["at"]
+    assert scheduler.now == 1.0
+
+
+def test_cancellation_during_fire_suppresses_later_event():
+    scheduler = Scheduler()
+    fired = []
+    victim = scheduler.after(2.0, fired.append, "victim")
+    scheduler.after(1.0, victim.cancel)
+    scheduler.after(3.0, fired.append, "survivor")
+    scheduler.run()
+    assert fired == ["survivor"]
+    assert scheduler.pending_count == 0
+
+
+def test_event_cancelling_itself_during_fire_is_harmless():
+    scheduler = Scheduler()
+    fired = []
+    holder = {}
+
+    def self_cancel():
+        holder["event"].cancel()
+        fired.append("ran")
+
+    holder["event"] = scheduler.after(1.0, self_cancel)
+    scheduler.after(2.0, fired.append, "later")
+    scheduler.run()
+    assert fired == ["ran", "later"]
+    assert scheduler.pending_count == 0
+
+
+def test_compaction_preserves_fifo_order_under_mass_cancellation():
+    # Schedule far more than the compaction floor at one instant, cancel
+    # most of them to force an in-place heap rebuild, and check that the
+    # survivors still run in exact scheduling (FIFO) order.
+    scheduler = Scheduler()
+    fired = []
+    events = []
+    for index in range(300):
+        events.append(scheduler.after(1.0, fired.append, index))
+    keep = set(range(0, 300, 7))
+    for index, event in enumerate(events):
+        if index not in keep:
+            event.cancel()
+    assert scheduler.pending_count == len(keep)
+    scheduler.run()
+    assert fired == sorted(keep)
+
+
+def test_compaction_during_run_keeps_order():
+    # The first event cancels hundreds of pending events, driving the
+    # dead-entry ratio over the compaction threshold mid-run; the
+    # remaining live events must still fire in (time, seq) order.
+    scheduler = Scheduler()
+    fired = []
+    doomed = [scheduler.after(5.0, fired.append, "dead") for _ in range(200)]
+    scheduler.after(1.0, lambda: [event.cancel() for event in doomed])
+    scheduler.after(2.0, fired.append, "a")
+    scheduler.after(3.0, fired.append, "b")
+    scheduler.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_idle_ignores_cancelled_backlog():
+    scheduler = Scheduler()
+    events = [scheduler.after(1.0, lambda: None) for _ in range(10)]
+    for event in events:
+        event.cancel()
+    # All events are dead: idle means zero callbacks, no runaway error.
+    assert scheduler.run_until_idle(max_events=5) == 0
+
+
+def test_reschedule_reuses_fired_event_with_fifo_order():
+    scheduler = Scheduler()
+    fired = []
+    event = scheduler.after(1.0, fired.append, "first")
+    scheduler.run()
+    recycled = scheduler.reschedule(event, 1.0, fired.append, "second")
+    assert recycled is event
+    scheduler.after(2.0, fired.append, "third")  # same instant, later seq
+    scheduler.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_reschedule_rejects_pending_event():
+    scheduler = Scheduler()
+    event = scheduler.after(1.0, lambda: None)
+    with pytest.raises(SchedulerError):
+        scheduler.reschedule(event, 1.0, lambda: None)
+
+
+def test_reschedule_rejects_negative_delay():
+    scheduler = Scheduler()
+    event = scheduler.after(0.1, lambda: None)
+    scheduler.run()
+    with pytest.raises(SchedulerError):
+        scheduler.reschedule(event, -0.5, lambda: None)

@@ -105,3 +105,56 @@ def test_periodic_timer_restart_resets_phase():
     scheduler.after(0.5, timer.start)
     scheduler.run(until=2.0)
     assert ticks == [1.5]
+
+
+# ----------------------------------------------------------------------
+# event recycling (Scheduler.reschedule fast path)
+
+
+def test_timer_restart_after_fire_reuses_event_object():
+    scheduler = Scheduler()
+    fired = []
+    timer = Timer(scheduler, lambda: fired.append(scheduler.now))
+    timer.start(1.0)
+    scheduler.run()
+    first_event = timer._spare
+    assert first_event is not None
+    timer.start(1.0)
+    # The fired event was recycled as the new deadline's handle.
+    assert timer._event is first_event
+    scheduler.run()
+    assert fired == [1.0, 2.0]
+
+
+def test_timer_refresh_before_fire_allocates_fresh_event():
+    scheduler = Scheduler()
+    fired = []
+    timer = Timer(scheduler, lambda: fired.append(scheduler.now))
+    timer.start(1.0)
+    pending = timer._event
+    timer.start(1.0)  # refresh: the old event is still a live heap entry
+    assert timer._event is not pending
+    assert pending.cancelled
+    scheduler.run()
+    assert fired == [1.0]
+
+
+def test_periodic_timer_recycles_one_event_across_ticks():
+    scheduler = Scheduler()
+    ticks = []
+    timer = PeriodicTimer(scheduler, lambda: ticks.append(scheduler.now), 1.0)
+    timer.start()
+    seen = set()
+    original = timer._event
+
+    def snapshot():
+        seen.add(id(timer._event))
+
+    probe = PeriodicTimer(scheduler, snapshot, 1.0)
+    probe.start(first_delay=1.5)
+    scheduler.run(until=5.2)
+    timer.stop()
+    probe.stop()
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+    # Every tick reused the same Event object.
+    assert seen == {id(original)}

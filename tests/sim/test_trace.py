@@ -152,3 +152,72 @@ def test_format_renders_lines():
     log.emit("a", "x", "e", k=1)
     text = log.format(category="a")
     assert "a" in text and "x" in text and "e" in text
+
+
+# ----------------------------------------------------------------------
+# amortized ring buffer and category filtering
+
+
+def test_capacity_window_is_exact_under_sustained_emits():
+    log, _ = make_log()
+    log.capacity = 5
+    for index in range(137):
+        log.emit("a", "x", "e", i=index)
+        # The retained window never exceeds capacity, even mid-stream
+        # while the backing list carries a dead prefix.
+        assert len(log.records) == min(index + 1, 5)
+    assert [r.details["i"] for r in log.records] == [132, 133, 134, 135, 136]
+    assert log.count("a", "e") == 137
+
+
+def test_tail_spans_the_trimmed_window():
+    log, _ = make_log()
+    log.capacity = 4
+    for index in range(10):
+        log.emit("a", "x", "e", i=index)
+    assert [r.details["i"] for r in log.tail(2)] == [8, 9]
+    # Asking for more than is retained returns the whole window.
+    assert [r.details["i"] for r in log.tail(99)] == [6, 7, 8, 9]
+
+
+def test_clear_resets_ring_buffer_state():
+    log, _ = make_log()
+    log.capacity = 3
+    for index in range(8):
+        log.emit("a", "x", "e", i=index)
+    log.clear()
+    assert log.records == []
+    assert log.count("a", "e") == 0
+    log.emit("a", "x", "e", i=100)
+    assert [r.details["i"] for r in log.records] == [100]
+
+
+def test_category_filter_stores_only_selected_categories():
+    log, _ = make_log()
+    log.filter_categories({"keep"})
+    kept = log.emit("keep", "x", "e1")
+    dropped = log.emit("drop", "x", "e2")
+    assert kept is not None and dropped is None
+    assert [r.category for r in log.records] == ["keep"]
+    # Counters still see every emit, filtered or not.
+    assert log.count("drop", "e2") == 1
+
+
+def test_category_filter_can_be_cleared():
+    log, _ = make_log()
+    log.filter_categories({"keep"})
+    log.emit("drop", "x", "e")
+    log.filter_categories(None)
+    log.emit("drop", "x", "e")
+    assert len(log.records) == 1
+    assert log.categories is None
+
+
+def test_constructor_accepts_categories():
+    from repro.sim.trace import TraceLog
+
+    log = TraceLog(clock=lambda: 0.0, categories=["a", "b"])
+    assert log.categories == frozenset({"a", "b"})
+    log.emit("c", "x", "e")
+    log.emit("a", "x", "e")
+    assert [r.category for r in log.records] == ["a"]

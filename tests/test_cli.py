@@ -91,3 +91,55 @@ def test_parser_help_lists_subcommands():
     help_text = parser.format_help()
     for command in ("table1", "figure5", "graceful", "router", "baselines", "tuning", "all"):
         assert command in help_text
+
+
+def test_bench_list_names():
+    code, output = run_cli(["bench", "--list"])
+    assert code == 0
+    assert "kernel_timer_churn" in output
+    assert "campaign_parallel" in output
+
+
+def test_bench_quick_writes_trajectory_and_gates_on_regression(tmp_path):
+    import json
+
+    path = tmp_path / "BENCH.json"
+    args = [
+        "bench", "--quick", "--repeat", "1",
+        "--benches", "lan_fanout", "--output", str(path),
+    ]
+    code, output = run_cli(args)
+    assert code == 0
+    assert "repro bench [quick]" in output
+    assert "no previous quick run to compare against" in output
+    data = json.loads(path.read_text())
+    assert data["format"] == "repro-bench/1"
+    assert len(data["runs"]) == 1
+
+    # Second run appends and compares against the first.
+    code, output = run_cli(args)
+    assert code == 0
+    assert "vs rev=" in output
+    assert len(json.loads(path.read_text())["runs"]) == 2
+
+    # Plant an absurdly fast baseline: the next run must gate.
+    data = json.loads(path.read_text())
+    data["runs"][-1]["benches"]["lan_fanout"]["median_s"] = 1e-9
+    path.write_text(json.dumps(data))
+    code, output = run_cli(args)
+    assert code == 1
+    assert "REGRESSION" in output
+    # The regressing run is still recorded for inspection.
+    assert len(json.loads(path.read_text())["runs"]) == 3
+
+
+def test_bench_no_write_leaves_trajectory_untouched(tmp_path):
+    path = tmp_path / "BENCH.json"
+    code, output = run_cli(
+        [
+            "bench", "--quick", "--repeat", "1", "--no-write", "--no-compare",
+            "--benches", "lan_fanout", "--output", str(path),
+        ]
+    )
+    assert code == 0
+    assert not path.exists()
