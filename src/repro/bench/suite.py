@@ -32,6 +32,7 @@ SCALES = {
         "failover_trial": {"trials": 1},
         "campaign_serial": {"trials": 3, "horizon": 25.0, "workers": 1},
         "campaign_parallel": {"trials": 4, "horizon": 25.0, "workers": 2},
+        "burst_loss_failover": {"trials": 1, "horizon": 25.0},
     },
     "full": {
         "kernel_events": {"n_events": 40_000},
@@ -40,6 +41,7 @@ SCALES = {
         "failover_trial": {"trials": 1},
         "campaign_serial": {"trials": 6, "horizon": 40.0, "workers": 1},
         "campaign_parallel": {"trials": 8, "horizon": 40.0, "workers": 2},
+        "burst_loss_failover": {"trials": 2, "horizon": 25.0},
     },
 }
 
@@ -181,6 +183,42 @@ def make_campaign_parallel(scale):
     return _make_campaign(scale)
 
 
+def make_burst_loss_failover(scale):
+    """Fail-over under Gilbert–Elliott burst loss, hardened cluster.
+
+    A directed gray trial: the LAN turns bursty (80% BAD-state loss),
+    a server crashes inside the loss window, and the trial only passes
+    if the hardened cluster (K-miss detection, ARP announce retries,
+    periodic re-announcement) still fails the crashed server's VIPs
+    over and reconverges to exact coverage after everything heals.
+    This prices the whole gray stack — link model draws, retry timers,
+    supervisors — on the same trial machinery the campaigns use.
+    """
+    from repro.check.schedule import BURST_LOSS, CRASH, FaultEvent, FaultSchedule
+    from repro.check.trial import make_spec, run_trial
+
+    trials = scale["trials"]
+    horizon = scale["horizon"]
+
+    def run():
+        for index in range(trials):
+            schedule = FaultSchedule(
+                [
+                    FaultEvent(BURST_LOSS, 1.0, duration=12.0, param=0.8),
+                    FaultEvent(CRASH, 4.0, host=1, duration=6.0),
+                ],
+                horizon=horizon,
+            )
+            result = run_trial(make_spec(31000 + index, schedule, gray=True))
+            if result["verdict"] != "pass":
+                raise RuntimeError(
+                    "burst-loss fail-over bench produced {}".format(result["verdict"])
+                )
+        return trials
+
+    return run, "trials"
+
+
 def _noop():
     return None
 
@@ -196,6 +234,7 @@ BENCHES = {
     "failover_trial": make_failover_trial,
     "campaign_serial": make_campaign_serial,
     "campaign_parallel": make_campaign_parallel,
+    "burst_loss_failover": make_burst_loss_failover,
 }
 
 

@@ -75,6 +75,7 @@ def build_trial_spec(params, index):
         n_hosts=params["n_servers"],
         horizon=params["horizon"],
         n_events=params["events_per_trial"],
+        gray=bool(params["spec_overrides"].get("gray", False)),
     )
     return make_spec(
         forked.seed,

@@ -11,16 +11,18 @@ pure function of (seed, schedule).
 from repro.core.audit import CoverageAuditor
 from repro.core.config import WackamoleConfig
 from repro.core.state import RUN
+from repro.core.supervisor import DaemonSupervisor
 from repro.gcs.config import SpreadConfig
 from repro.gcs.daemon import SpreadDaemon
 from repro.net.fault import FaultInjector
 from repro.net.host import Host
 from repro.net.lan import Lan
+from repro.net.linkfault import GilbertElliott
 
 from repro.check import schedule as sched
 
 
-def fast_spread_config():
+def fast_spread_config(suspicion_misses=1):
     """The test suite's aggressive timeouts (Table 1 ratios preserved)."""
     return SpreadConfig(
         fault_detection_timeout=0.5,
@@ -29,7 +31,23 @@ def fast_spread_config():
         join_interval=0.02,
         form_timeout=0.3,
         install_timeout=0.3,
+        suspicion_misses=suspicion_misses,
     )
+
+
+#: Wackamole hardening applied by gray clusters (docs/FAULTS.md): ARP
+#: retries + periodic re-announcement, conflict re-ARP and wire-level
+#: conflict resolution, and a fast reconnect cycle for supervised
+#: daemon restarts.
+GRAY_WACK_OVERRIDES = {
+    "arp_announce_retries": 2,
+    "arp_announce_backoff": 0.3,
+    "arp_reannounce_interval": 2.0,
+    "conflict_reannounce": True,
+    "arp_conflict_resolution": True,
+    "arp_conflict_holddown": 0.5,
+    "reconnect_interval": 0.5,
+}
 
 
 class CheckCluster:
@@ -37,17 +55,21 @@ class CheckCluster:
 
     SUBNET = "10.9.0.0/24"
 
-    def __init__(self, sim, n_servers, n_vips, daemon_cls, wack_overrides=None):
+    def __init__(self, sim, n_servers, n_vips, daemon_cls, wack_overrides=None, gray=False):
         self.sim = sim
         self.daemon_cls = daemon_cls
+        self.gray = bool(gray)
         self.lan = Lan(sim, "check", self.SUBNET)
-        self.spread_config = fast_spread_config()
+        self.spread_config = fast_spread_config(suspicion_misses=2 if gray else 1)
         self.vips = ["10.9.0.{}".format(100 + i) for i in range(n_vips)]
         overrides = {"maturity_timeout": 0.5, "balance_timeout": 1.5}
+        if gray:
+            overrides.update(GRAY_WACK_OVERRIDES)
         overrides.update(wack_overrides or {})
         self.wconfig = WackamoleConfig.for_vips(self.vips, **overrides)
         self.faults = FaultInjector(sim)
         self.hosts, self.spreads, self.wacks = [], [], []
+        self.supervisors = []
         for index in range(n_servers):
             host = Host(sim, "s{}".format(index))
             host.add_nic(self.lan, "10.9.0.{}".format(10 + index))
@@ -56,6 +78,18 @@ class CheckCluster:
             self.hosts.append(host)
             self.spreads.append(spread)
             self.wacks.append(wack)
+            if gray:
+                supervisor = DaemonSupervisor(
+                    host,
+                    check_interval=0.5,
+                    stall_checks=3,
+                    restart_backoff=0.5,
+                    backoff_cap=4.0,
+                    stable_after=5.0,
+                    on_restart=self._make_on_restart(index),
+                )
+                supervisor.watch_wackamole(wack)
+                self.supervisors.append(supervisor)
         self.auditor = CoverageAuditor(self.wacks)
         self.restarts = 0
 
@@ -64,7 +98,22 @@ class CheckCluster:
         for index, (spread, wack) in enumerate(zip(self.spreads, self.wacks)):
             self.sim.after(stagger * index, spread.start)
             self.sim.after(stagger * index + 0.01, wack.start)
+        for supervisor in self.supervisors:
+            supervisor.start()
         return self
+
+    def _make_on_restart(self, index):
+        def on_restart(kind, old, new):
+            # Keep the harness's daemon lists pointing at the current
+            # generation so sampling and settling see live daemons.
+            if kind == "spread":
+                if self.spreads[index] is old:
+                    self.spreads[index] = new
+            elif kind == "wackamole":
+                if self.wacks[index] is old:
+                    self.wacks[index] = new
+
+        return on_restart
 
     # ------------------------------------------------------------------
     # invariant plumbing
@@ -134,10 +183,54 @@ class CheckCluster:
                 return
             wack.shutdown()
             self.sim.after(event.duration, self._rejoin, event.host)
+        elif event.kind == sched.ASYM_PARTITION:
+            deaf = [self.hosts[i] for i in event.split if i < len(self.hosts)]
+            if not deaf or len(deaf) == len(self.hosts):
+                return
+            self.faults.asym_partition(self.lan, deaf)
+            self.sim.after(event.duration, self.faults.asym_heal, self.lan)
+        elif event.kind == sched.BURST_LOSS:
+            model = GilbertElliott(loss_bad=event.param if event.param else 0.9)
+            self.faults.burst_loss_on(self.lan, model)
+            self.sim.after(event.duration, self.faults.burst_loss_off, self.lan)
+        elif event.kind == sched.SLOW_HOST:
+            host = self.hosts[event.host]
+            if not host.alive:
+                return
+            self.faults.slow_host(host, event.param if event.param else 2.0)
+            self.sim.after(event.duration, self._unslow, event.host)
+        elif event.kind == sched.CLOCK_SKEW:
+            host = self.hosts[event.host]
+            if not host.alive:
+                return
+            self.faults.skew_clock(host, event.param if event.param else 2.0)
+            self.sim.after(event.duration, self._unskew, event.host)
+        elif event.kind == sched.DAEMON_WEDGE:
+            host = self.hosts[event.host]
+            spread = getattr(host, "spread_daemon", None)
+            if not host.alive or spread is None or not spread.alive or spread.wedged:
+                return
+            self.faults.wedge_daemon(spread)
+            # Failsafe: if no supervisor replaced it by then, unwedge.
+            self.sim.after(event.duration, self._unwedge, spread)
 
     def _restore_nic(self, nic):
         if nic.host.alive and not nic.up:
             self.faults.nic_up(nic)
+
+    def _unslow(self, index):
+        host = self.hosts[index]
+        if host.alive and host.time_scale != 1.0:
+            self.faults.unslow_host(host)
+
+    def _unskew(self, index):
+        host = self.hosts[index]
+        if host.alive and host.clock_skew != 0.0:
+            self.faults.unskew_clock(host)
+
+    def _unwedge(self, spread):
+        if spread.alive and spread.wedged:
+            self.faults.unwedge_daemon(spread)
 
     def _revive(self, index):
         host = self.hosts[index]
@@ -156,6 +249,21 @@ class CheckCluster:
         wack.start()
         self.spreads[index] = spread
         self.wacks[index] = wack
+        if self.gray:
+            # The host crash killed the supervisor with every other
+            # service; the rebooted machine gets a fresh one.
+            supervisor = DaemonSupervisor(
+                host,
+                check_interval=0.5,
+                stall_checks=3,
+                restart_backoff=0.5,
+                backoff_cap=4.0,
+                stable_after=5.0,
+                on_restart=self._make_on_restart(index),
+            )
+            supervisor.watch_wackamole(wack)
+            supervisor.start()
+            self.supervisors[index] = supervisor
 
     def _rejoin(self, index):
         host = self.hosts[index]

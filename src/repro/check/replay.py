@@ -14,9 +14,10 @@ from repro.check.campaign import ARTIFACT_FORMAT
 from repro.check.trial import run_trial
 
 # Result fields that must match byte-for-byte on replay. sim_time,
-# counters, the per-trial metrics summary and the extracted fail-over
-# episode records are all included: a divergence there means
-# nondeterminism even if the violation happens to look the same.
+# counters, the per-trial metrics summary, the extracted fail-over
+# episode records, the injector's fault log and the degraded-mode
+# spans are all included: a divergence there means nondeterminism even
+# if the violation happens to look the same.
 _COMPARED_FIELDS = (
     "verdict",
     "sim_time",
@@ -25,6 +26,8 @@ _COMPARED_FIELDS = (
     "trace_tail",
     "metrics",
     "episodes",
+    "fault_log",
+    "degraded",
 )
 
 

@@ -21,28 +21,43 @@ CRASH = "crash"
 PARTITION = "partition"
 LEAVE = "leave"
 
+# Gray-failure kinds (docs/FAULTS.md): components degrade without dying.
+ASYM_PARTITION = "asym_partition"
+BURST_LOSS = "burst_loss"
+SLOW_HOST = "slow_host"
+CLOCK_SKEW = "clock_skew"
+DAEMON_WEDGE = "daemon_wedge"
+
 KINDS = (NIC_FLAP, CRASH, PARTITION, LEAVE)
+GRAY_KINDS = (ASYM_PARTITION, BURST_LOSS, SLOW_HOST, CLOCK_SKEW, DAEMON_WEDGE)
+ALL_KINDS = KINDS + GRAY_KINDS
 
 
 class FaultEvent:
     """One self-healing fault: kind, onset time, target, duration.
 
-    ``host`` is a server index (flap / crash / leave); ``split`` is a
-    sorted tuple of server indices forming the broken-off partition
-    group. ``duration`` is the time until the event's own healing
-    action (nic_up, recover+restart, heal, rejoin).
+    ``host`` is a server index (flap / crash / leave / slow / skew /
+    wedge); ``split`` is a sorted tuple of server indices forming the
+    broken-off partition group (for ``asym_partition``: the *deaf*
+    side). ``duration`` is the time until the event's own healing
+    action (nic_up, recover+restart, heal, rejoin, unslow, unskew,
+    unwedge). ``param`` is an optional fault magnitude — BAD-state loss
+    probability for ``burst_loss``, timer stretch factor for
+    ``slow_host``, clock offset for ``clock_skew`` — serialised only
+    when set, so pre-gray schedules round-trip unchanged.
     """
 
-    __slots__ = ("kind", "time", "host", "duration", "split")
+    __slots__ = ("kind", "time", "host", "duration", "split", "param")
 
-    def __init__(self, kind, time, host=None, duration=0.0, split=None):
-        if kind not in KINDS:
+    def __init__(self, kind, time, host=None, duration=0.0, split=None, param=None):
+        if kind not in ALL_KINDS:
             raise ValueError("unknown fault kind {!r}".format(kind))
         self.kind = kind
         self.time = float(time)
         self.host = None if host is None else int(host)
         self.duration = float(duration)
         self.split = None if split is None else tuple(sorted(int(i) for i in split))
+        self.param = None if param is None else float(param)
 
     def to_dict(self):
         data = {"kind": self.kind, "time": self.time, "duration": self.duration}
@@ -50,6 +65,8 @@ class FaultEvent:
             data["host"] = self.host
         if self.split is not None:
             data["split"] = list(self.split)
+        if self.param is not None:
+            data["param"] = self.param
         return data
 
     @classmethod
@@ -60,6 +77,7 @@ class FaultEvent:
             host=data.get("host"),
             duration=data.get("duration", 0.0),
             split=data.get("split"),
+            param=data.get("param"),
         )
 
     def __eq__(self, other):
@@ -129,6 +147,7 @@ def generate_schedule(
     n_events=8,
     min_duration=3.0,
     max_duration=10.0,
+    gray=False,
 ):
     """Draw a random schedule from ``rng`` (a ``random.Random`` stream).
 
@@ -138,6 +157,13 @@ def generate_schedule(
     and graceful leaves exercise the lightweight voluntary path. All
     draws come from the single supplied stream, so the schedule is a
     pure function of the stream's seed.
+
+    With ``gray=True`` the mix shifts toward the gray repertoire
+    (one-way partitions, burst loss, slow hosts, clock skew, wedged
+    daemons) while keeping a fail-stop backbone, so campaigns exercise
+    the interaction of both regimes. ``gray=False`` draws exactly the
+    historical sequence — existing campaign seeds reproduce their
+    schedules bit-for-bit.
     """
     if n_hosts < 2:
         raise ValueError("schedules need at least 2 hosts")
@@ -146,7 +172,11 @@ def generate_schedule(
         time = rng.uniform(0.5, max(horizon - max_duration, 1.0))
         duration = rng.uniform(min_duration, max_duration)
         choice = rng.random()
-        if choice < 0.35:
+        if gray:
+            events.append(
+                _gray_event(rng, n_hosts, time, duration, choice)
+            )
+        elif choice < 0.35:
             events.append(
                 FaultEvent(NIC_FLAP, time, host=rng.randrange(n_hosts), duration=duration)
             )
@@ -163,3 +193,41 @@ def generate_schedule(
                 FaultEvent(LEAVE, time, host=rng.randrange(n_hosts), duration=duration)
             )
     return FaultSchedule(events, horizon)
+
+
+def _gray_event(rng, n_hosts, time, duration, choice):
+    """One event of the gray mix (shared time/duration/choice draws)."""
+    if choice < 0.12:
+        return FaultEvent(NIC_FLAP, time, host=rng.randrange(n_hosts), duration=duration)
+    if choice < 0.24:
+        return FaultEvent(CRASH, time, host=rng.randrange(n_hosts), duration=duration)
+    if choice < 0.34:
+        size = rng.randint(1, n_hosts - 1)
+        split = rng.sample(range(n_hosts), size)
+        return FaultEvent(PARTITION, time, duration=duration, split=split)
+    if choice < 0.52:
+        # One-way partition: the split side goes deaf but keeps talking.
+        size = rng.randint(1, n_hosts - 1)
+        split = rng.sample(range(n_hosts), size)
+        return FaultEvent(ASYM_PARTITION, time, duration=duration, split=split)
+    if choice < 0.68:
+        return FaultEvent(
+            BURST_LOSS, time, duration=duration, param=rng.uniform(0.5, 0.95)
+        )
+    if choice < 0.80:
+        return FaultEvent(
+            SLOW_HOST,
+            time,
+            host=rng.randrange(n_hosts),
+            duration=duration,
+            param=rng.uniform(1.5, 3.0),
+        )
+    if choice < 0.90:
+        return FaultEvent(
+            CLOCK_SKEW,
+            time,
+            host=rng.randrange(n_hosts),
+            duration=duration,
+            param=rng.uniform(-5.0, 5.0),
+        )
+    return FaultEvent(DAEMON_WEDGE, time, host=rng.randrange(n_hosts), duration=duration)

@@ -93,6 +93,12 @@ def build_parser():
     check.add_argument("--events", type=int, default=8)
     check.add_argument("--fixture", default="standard", choices=sorted(FIXTURES))
     check.add_argument(
+        "--gray", action="store_true",
+        help="gray-failure campaign: asymmetric partitions, burst loss, "
+        "slow hosts, clock skew and wedged daemons against the hardened "
+        "cluster (K-miss detection, ARP retries, supervisors)",
+    )
+    check.add_argument(
         "--artifacts", default="check-artifacts", metavar="DIR",
         help="directory for shrunk failure artifacts",
     )
@@ -262,6 +268,7 @@ def _run_check(args, out):
         fixture=args.fixture,
         shrink=not args.no_shrink,
         artifacts_dir=args.artifacts,
+        gray=args.gray,
     )
     out(report.format())
     return 0 if report.passed else 1

@@ -66,6 +66,27 @@ class WackamoleConfig:
       "load-based reallocation": allocation and balancing target a
       share of the address pool proportional to the weight (travels in
       STATE messages like the preferences).
+
+    Gray-failure hardening knobs (all default off / historical
+    behaviour; see ``docs/FAULTS.md``):
+
+    * ``arp_announce_retries`` / ``arp_announce_backoff`` — re-send
+      each acquisition's spoofed ARP announcement up to N extra times
+      with exponential backoff, so a burst-lossy segment still gets the
+      caches repointed. 0 retries reproduces the single-shot paper
+      behaviour.
+    * ``arp_reannounce_interval`` — periodic gratuitous re-announcement
+      of every held VIP (0 disables); repairs caches poisoned while a
+      partition was asymmetric.
+    * ``conflict_reannounce`` — when this daemon *wins* a duplicate-VIP
+      conflict during GATHER, re-announce the kept address even though
+      the interface was already bound (the loser's earlier announces
+      may have repointed client caches the wrong way).
+    * ``arp_conflict_resolution`` / ``arp_conflict_holddown`` — act on
+      wire-level duplicate-claim detection (a foreign ARP claim for a
+      held VIP): after the holddown, if the slot is still held and the
+      conflict persists, the daemon with the losing (higher) member id
+      releases. Detection itself is always on.
     """
 
     def __init__(
@@ -83,6 +104,12 @@ class WackamoleConfig:
         reconnect_interval=2.0,
         representative_allocation=False,
         weight=1.0,
+        arp_announce_retries=0,
+        arp_announce_backoff=0.5,
+        arp_reannounce_interval=0.0,
+        conflict_reannounce=False,
+        arp_conflict_resolution=False,
+        arp_conflict_holddown=1.0,
     ):
         self.vip_groups = tuple(vip_groups)
         if len({g.group_id for g in self.vip_groups}) != len(self.vip_groups):
@@ -101,6 +128,20 @@ class WackamoleConfig:
         if weight <= 0:
             raise ValueError("weight must be positive, got {}".format(weight))
         self.weight = float(weight)
+        if int(arp_announce_retries) < 0:
+            raise ValueError(
+                "arp_announce_retries must be >= 0, got {}".format(arp_announce_retries)
+            )
+        if float(arp_announce_backoff) <= 0:
+            raise ValueError(
+                "arp_announce_backoff must be positive, got {}".format(arp_announce_backoff)
+            )
+        self.arp_announce_retries = int(arp_announce_retries)
+        self.arp_announce_backoff = float(arp_announce_backoff)
+        self.arp_reannounce_interval = float(arp_reannounce_interval)
+        self.conflict_reannounce = bool(conflict_reannounce)
+        self.arp_conflict_resolution = bool(arp_conflict_resolution)
+        self.arp_conflict_holddown = float(arp_conflict_holddown)
         unknown = set(self.prefer) - {g.group_id for g in self.vip_groups}
         if unknown:
             raise ValueError("preferences for unknown VIP groups: {}".format(sorted(unknown)))
@@ -138,6 +179,12 @@ class WackamoleConfig:
             "reconnect_interval": self.reconnect_interval,
             "representative_allocation": self.representative_allocation,
             "weight": self.weight,
+            "arp_announce_retries": self.arp_announce_retries,
+            "arp_announce_backoff": self.arp_announce_backoff,
+            "arp_reannounce_interval": self.arp_reannounce_interval,
+            "conflict_reannounce": self.conflict_reannounce,
+            "arp_conflict_resolution": self.arp_conflict_resolution,
+            "arp_conflict_holddown": self.arp_conflict_holddown,
         }
         fields.update(overrides)
         return WackamoleConfig(**fields)

@@ -78,18 +78,55 @@ class WackamoleDaemon(Process):
             self._arp_share_timer = self.periodic(
                 self._share_arp_cache, config.arp_share_interval, name="arp_share"
             )
+        self._reannounce_timer = None
+        if config.arp_reannounce_interval > 0:
+            self._reannounce_timer = self.periodic(
+                self._reannounce_vips,
+                config.arp_reannounce_interval,
+                name="arp_reannounce",
+            )
+        # Wire-level duplicate-claim detection (docs/FAULTS.md): the
+        # host's ARP service reports foreign claims on held VIPs here.
+        # Detection is always on; resolution is config-gated.
+        host.arp.on_vip_conflict = self._on_arp_conflict
+        self._conflict_holddowns = set()
+        self._m_vip_conflicts = None
         self.reallocations = 0
         self.balances_sent = 0
         self.balances_applied = 0
         self.conflicts_dropped = 0
         self.reconnect_attempts = 0
+        self.arp_conflicts_seen = 0
+        self.arp_conflicts_resolved = 0
 
     # ------------------------------------------------------------------
     # lifecycle
 
     def start(self):
         """Connect to the local GCS daemon (retrying if it is down)."""
+        self._clear_stale_bindings()
         self._try_connect()
+
+    def _clear_stale_bindings(self):
+        """Unbind managed VIPs a dead predecessor left on the NICs.
+
+        Kernel address bindings outlive the process that made them: a
+        killed daemon's VIPs stay bound, the cluster re-acquires them
+        elsewhere, and a supervisor-restarted replacement would
+        otherwise ratify a permanent physical duplicate it never knew
+        it had. A freshly started daemon owns nothing by definition,
+        so any managed address already on a local interface is stale.
+        """
+        for group in self.config.vip_groups:
+            if self.iface.owns(group.group_id):
+                continue
+            for address in group.addresses:
+                for nic in self.host.nics:
+                    if nic.owns_ip(address):
+                        nic.unbind_ip(address)
+                        self.trace(
+                            "wackamole", "stale_binding_cleared", ip=str(address)
+                        )
 
     def stop(self):
         """Abrupt daemon death (host crash path); interfaces stay bound.
@@ -146,6 +183,8 @@ class WackamoleDaemon(Process):
             self._maturity_timer.start(self.config.maturity_timeout)
         if self._arp_share_timer is not None:
             self._arp_share_timer.start()
+        if self._reannounce_timer is not None:
+            self._reannounce_timer.start()
         client.join(self.config.group_name)
         self.trace("wackamole", "connected", daemon=self.spread.daemon_id)
 
@@ -163,6 +202,8 @@ class WackamoleDaemon(Process):
         self._maturity_timer.cancel()
         if self._arp_share_timer is not None:
             self._arp_share_timer.stop()
+        if self._reannounce_timer is not None:
+            self._reannounce_timer.stop()
         self._reconnect_timer.start(self.config.reconnect_interval)
 
     # ------------------------------------------------------------------
@@ -242,6 +283,17 @@ class WackamoleDaemon(Process):
                     # §3.4: restore network-level consistency as soon
                     # as the conflict is noticed.
                     self.iface.release(slot)
+                elif (
+                    winner == self.member_name
+                    and self.config.conflict_reannounce
+                    and self.iface.owns(slot)
+                ):
+                    # We keep the address, but the loser's earlier
+                    # announcements may have repointed client caches at
+                    # it (acquire is idempotent and stays silent for a
+                    # binding we never dropped) — repair them now.
+                    self.trace("wackamole", "conflict_reannounce", slot=slot)
+                    self.iface.reannounce(slot)
         if set(self._state_msgs) >= set(self.table.members):
             self._complete_gather()
 
@@ -387,6 +439,91 @@ class WackamoleDaemon(Process):
         self.mature = True
         self._maturity_timer.cancel()
         self.trace("wackamole", "mature", reason=reason)
+
+    # ------------------------------------------------------------------
+    # wire-level duplicate-claim handling (docs/FAULTS.md)
+
+    def _slot_for_ip(self, ip):
+        for group in self.config.vip_groups:
+            if ip in group.addresses:
+                return group.group_id
+        return None
+
+    def _on_arp_conflict(self, ip, claimant_mac):
+        """A foreign ARP claim arrived for a VIP this host has bound.
+
+        This is the network-level symptom of a duplicate VIP after an
+        asymmetric partition heals: two members each believe they own
+        the address, and the group-level GATHER may be unable to notice
+        (each side is in its own view). Detection always counts and
+        traces; with ``arp_conflict_resolution`` a holddown is armed
+        and the conflict is re-examined once it expires (see
+        :meth:`_resolve_arp_conflict` for who backs off).
+        """
+        if not self.alive:
+            return
+        slot = self._slot_for_ip(ip)
+        if slot is None or not self.iface.owns(slot):
+            return
+        self.arp_conflicts_seen += 1
+        if self._m_vip_conflicts is None:
+            # Lazily created so conflict-free runs keep their metric
+            # catalog (totals() reports zero-valued counters too).
+            self._m_vip_conflicts = self._metrics.counter(
+                "core.vip_conflicts", node=self.host.name
+            )
+        self._m_vip_conflicts.inc()
+        self.trace("wackamole", "vip_conflict", slot=slot)
+        if not self.config.arp_conflict_resolution:
+            return
+        if slot in self._conflict_holddowns:
+            return
+        self._conflict_holddowns.add(slot)
+        self.after(
+            self.config.arp_conflict_holddown,
+            self._resolve_arp_conflict,
+            slot,
+            claimant_mac,
+        )
+
+    def _resolve_arp_conflict(self, slot, claimant_mac):
+        self._conflict_holddowns.discard(slot)
+        if not self.iface.owns(slot):
+            # The group-level protocol (a reallocation or a balance)
+            # moved the slot during the holddown; nothing to fight over.
+            return
+        if self.view is not None and len(self.view.members) > 1:
+            # A multi-member view agreed we own this slot; the claimant
+            # is outside our component (a deaf host mid-partition still
+            # announces, and its frames reach us even though ours never
+            # reach it). Releasing here would uncover the slot for every
+            # client on our side — keep it and repair the caches its
+            # announcements poisoned. The singleton-vs-singleton MAC
+            # tie-break below handles the true split-brain case.
+            self.arp_conflicts_resolved += 1
+            self.trace("wackamole", "vip_conflict_keep", slot=slot)
+            self.iface.reannounce(slot)
+            return
+        group = self.config.group(slot)
+        nic = self.iface._nic_for(group.addresses[0])
+        if claimant_mac.value < nic.mac.value:
+            self.arp_conflicts_resolved += 1
+            self.trace("wackamole", "vip_conflict_release", slot=slot)
+            self.iface.release(slot)
+            if self.table is not None and slot in self.table.slots:
+                if self.table.owner(slot) == self.member_name:
+                    self.table.set_owner(slot, None)
+        else:
+            # We win: make sure the segment's caches point back here.
+            self.arp_conflicts_resolved += 1
+            self.trace("wackamole", "vip_conflict_keep", slot=slot)
+            self.iface.reannounce(slot)
+
+    def _reannounce_vips(self):
+        """Periodic gratuitous re-announcement of every held VIP."""
+        if self.client is None:
+            return
+        self.iface.reannounce_all()
 
     # ------------------------------------------------------------------
     # ARP cache sharing (§5.2)

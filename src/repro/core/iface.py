@@ -54,6 +54,25 @@ class InterfaceManager:
         for nic, address in bindings:
             self.notifier.announce(nic, address)
 
+    def reannounce(self, slot_id):
+        """Re-announce an already-held group without re-binding.
+
+        Cache repair for gray failures: after an asymmetric partition
+        heals (or a conflict is won), client caches may still point at
+        a usurper even though the local binding never changed —
+        :meth:`acquire` is idempotent and stays silent in that case.
+        """
+        if slot_id not in self._owned:
+            return
+        group = self.config.group(slot_id)
+        for address in group.addresses:
+            self.notifier.announce(self._nic_for(address), address)
+
+    def reannounce_all(self):
+        """Re-announce every held group (the periodic gratuitous pass)."""
+        for slot_id in self.owned_slots():
+            self.reannounce(slot_id)
+
     def release(self, slot_id):
         """Unbind every address of the group."""
         if slot_id not in self._owned:

@@ -23,12 +23,38 @@ class ArpNotifier:
         self.config = config
         self._shared = {}
         self.announcements = 0
+        self.retries_sent = 0
         self._m_announcements = host.sim.metrics.counter(
             "core.arp_announcements", node=host.name
         )
+        # The retry instrument only exists when retries are configured,
+        # so historical runs keep their exact metric catalog.
+        self._m_retries = None
+        if config.arp_announce_retries > 0:
+            self._m_retries = host.sim.metrics.counter(
+                "core.arp_retries", node=host.name
+            )
 
     def announce(self, nic, address):
-        """Spoof ARP for ``address`` now owned by ``nic``."""
+        """Spoof ARP for ``address`` now owned by ``nic``.
+
+        With ``arp_announce_retries`` > 0 the announcement is re-sent
+        up to that many extra times with exponential backoff
+        (``arp_announce_backoff`` doubling each round), abandoning the
+        series as soon as the address is no longer bound here — a
+        burst-lossy segment gets repointed by whichever copy survives.
+        """
+        self._announce_once(nic, address)
+        if self.config.arp_announce_retries > 0:
+            self.host.after(
+                self.config.arp_announce_backoff,
+                self._retry_announce,
+                nic,
+                address,
+                1,
+            )
+
+    def _announce_once(self, nic, address):
         targets = self._target_macs(nic)
         self.announcements += 1
         self._m_announcements.inc()
@@ -36,6 +62,21 @@ class ArpNotifier:
             self.host.arp.announce(nic, address, target_macs=targets)
         else:
             self.host.arp.announce(nic, address)
+
+    def _retry_announce(self, nic, address, attempt):
+        if not nic.up or not nic.owns_ip(address):
+            return
+        self.retries_sent += 1
+        self._m_retries.inc()
+        self._announce_once(nic, address)
+        if attempt < self.config.arp_announce_retries:
+            self.host.after(
+                self.config.arp_announce_backoff * (2 ** attempt),
+                self._retry_announce,
+                nic,
+                address,
+                attempt + 1,
+            )
 
     def _target_macs(self, nic):
         """Unicast targets, or empty to request a broadcast."""

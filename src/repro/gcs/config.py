@@ -29,12 +29,17 @@ class SpreadConfig:
         gap_nack_delay=0.05,
         client_ipc_latency=0.0001,
         port=4803,
+        suspicion_misses=1,
     ):
         if heartbeat_timeout >= fault_detection_timeout:
             raise ValueError(
                 "heartbeat timeout ({}) must be below fault detection timeout ({})".format(
                     heartbeat_timeout, fault_detection_timeout
                 )
+            )
+        if int(suspicion_misses) < 1:
+            raise ValueError(
+                "suspicion_misses must be >= 1, got {}".format(suspicion_misses)
             )
         self.fault_detection_timeout = float(fault_detection_timeout)
         self.heartbeat_timeout = float(heartbeat_timeout)
@@ -46,6 +51,15 @@ class SpreadConfig:
         self.gap_nack_delay = float(gap_nack_delay)
         self.client_ipc_latency = float(client_ipc_latency)
         self.port = int(port)
+        # Gray-failure hardening: a peer is suspected only after this
+        # many consecutive detection-timer expiries without traffic.
+        # Each miss beyond the first extends the deadline by one
+        # heartbeat interval, so the total suspicion latency is
+        # fault_detection + (K - 1) * heartbeat. K = 1 is the paper's
+        # single-miss detector (byte-identical to the historical code);
+        # K >= 2 rides out burst loss and slowed-but-alive hosts at the
+        # cost of a wider detection window.
+        self.suspicion_misses = int(suspicion_misses)
 
     @classmethod
     def default(cls):
@@ -62,10 +76,15 @@ class SpreadConfig:
         )
 
     def detection_window(self):
-        """(min, max) delay from failure to start of reconfiguration."""
+        """(min, max) delay from failure to start of reconfiguration.
+
+        With K-miss suspicion (``suspicion_misses`` > 1) each extra miss
+        adds one heartbeat interval to both bounds.
+        """
+        extension = (self.suspicion_misses - 1) * self.heartbeat_timeout
         return (
-            self.fault_detection_timeout - self.heartbeat_timeout,
-            self.fault_detection_timeout,
+            self.fault_detection_timeout - self.heartbeat_timeout + extension,
+            self.fault_detection_timeout + extension,
         )
 
     def notification_window(self):

@@ -64,6 +64,11 @@ class SpreadDaemon(Process):
             self._send_heartbeat, self.config.heartbeat_timeout, name="heartbeat"
         )
         self.started = False
+        # Gray fault: a wedged daemon is alive (port bound, process
+        # scheduled) but neither receives nor sends protocol traffic —
+        # the deadlocked-event-loop failure a fail-stop crash cannot
+        # model. Peers see silence; local clients see nothing at all.
+        self.wedged = False
         self.messages_sent = 0
         metrics = self.sim.metrics
         self._m_sent = metrics.counter("gcs.messages_sent", node=self.daemon_id)
@@ -132,7 +137,7 @@ class SpreadDaemon(Process):
 
     def broadcast(self, message):
         """Send a daemon message to the whole segment."""
-        if not self.alive:
+        if not self.alive or self.wedged:
             return
         self.messages_sent += 1
         self._m_sent.inc()
@@ -145,7 +150,7 @@ class SpreadDaemon(Process):
 
     def unicast(self, daemon_id, message):
         """Send to one daemon; falls back to broadcast if address unknown."""
-        if not self.alive:
+        if not self.alive or self.wedged:
             return
         address = self._addr_book.get(daemon_id)
         if address is None:
@@ -177,7 +182,7 @@ class SpreadDaemon(Process):
         # type — this is the single busiest protocol function and the
         # isinstance chain it replaces showed up at the top of campaign
         # profiles.
-        if not self.alive or not self.started:
+        if not self.alive or not self.started or self.wedged:
             return
         self._m_received.inc()
         kind = type(message)

@@ -7,6 +7,20 @@ failure can occur anywhere inside a heartbeat interval, the time from
 failure to suspicion falls in
 ``[fault_detection - heartbeat, fault_detection]`` — the paper's
 detection window.
+
+Gray-failure hardening (``suspicion_misses`` = K > 1): the first timer
+expiry is a *miss*, not a suspicion. Each miss extends the deadline by
+one heartbeat interval; only K consecutive expiries with no traffic in
+between raise the suspicion, so a burst-lossy link or a slowed host
+that still gets the occasional heartbeat through never flaps the
+membership. Total suspicion latency becomes
+``fault_detection + (K - 1) * heartbeat``. K = 1 reproduces the
+historical single-miss detector exactly — same timers, same firing
+times.
+
+Lifecycle contract: :meth:`heard_from` is a safe no-op for a peer that
+is not watched — including after :meth:`stop` — and never creates or
+resurrects a timer. Only :meth:`watch` arms timers.
 """
 
 from repro.sim.timers import Timer
@@ -19,7 +33,9 @@ class FailureDetector:
         self._daemon = daemon
         self._on_suspect = on_suspect
         self._timers = {}
+        self._misses = {}
         self.suspicions = 0
+        self.misses_ridden_out = 0
 
     @property
     def watched(self):
@@ -42,21 +58,41 @@ class FailureDetector:
             self._timers[peer] = timer
 
     def heard_from(self, peer):
-        """Any traffic from a watched peer refreshes its timer."""
+        """Any traffic from a watched peer refreshes its timer.
+
+        For an unwatched peer (never watched, already suspected, or
+        after :meth:`stop`) this does nothing — in particular it must
+        not re-create a timer that suspicion or reconfiguration tore
+        down, which would leave an orphan firing into a stale view.
+        """
         timer = self._timers.get(peer)
-        if timer is not None:
-            timer.start(self._daemon.config.fault_detection_timeout)
+        if timer is None:
+            return
+        if self._misses.pop(peer, None) is not None:
+            self.misses_ridden_out += 1
+        timer.start(self._daemon.config.fault_detection_timeout)
 
     def stop(self):
         """Cancel all suspicion timers (during reconfiguration)."""
         for timer in self._timers.values():
             timer.cancel()
         self._timers.clear()
+        self._misses.clear()
 
     def _make_suspect(self, peer):
         def suspect():
+            misses = self._misses.get(peer, 0) + 1
+            if misses < self._daemon.config.suspicion_misses:
+                # Grace miss: extend the deadline one heartbeat and keep
+                # listening — any traffic in that window clears the count.
+                self._misses[peer] = misses
+                timer = self._timers.get(peer)
+                if timer is not None:
+                    timer.start(self._daemon.config.heartbeat_timeout)
+                return
             self.suspicions += 1
             self._timers.pop(peer, None)
+            self._misses.pop(peer, None)
             self._on_suspect(peer)
 
         return suspect

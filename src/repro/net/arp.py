@@ -92,16 +92,41 @@ class ArpService:
 
     def __init__(self, host, cache_lifetime=60.0):
         self.host = host
-        self.cache = ArpCache(lambda: host.sim.now, lifetime=cache_lifetime)
+        self.cache = ArpCache(lambda: host.local_time, lifetime=cache_lifetime)
         self._pending = {}
         self.requests_sent = 0
         self.replies_sent = 0
         self.spoofs_sent = 0
+        self.conflicts_seen = 0
+        # Called as on_vip_conflict(ip, foreign_mac) when another node's
+        # ARP traffic claims an address this host currently has bound —
+        # the wire-level symptom of a duplicate VIP after an asymmetric
+        # partition heals. Wackamole daemons hook this for resolution.
+        self.on_vip_conflict = None
 
     def handle(self, nic, packet):
         """Process an incoming ARP packet on ``nic``."""
-        self.cache.store(packet.sender_ip, packet.sender_mac)
-        self._flush_pending(packet.sender_ip)
+        sender_ip = packet.sender_ip
+        sender_mac = packet.sender_mac
+        if (
+            sender_mac != nic.mac
+            and self.host.owns_ip(sender_ip)
+            and all(other.mac != sender_mac for other in self.host.nics)
+        ):
+            # Someone else is advertising an address we have bound:
+            # duplicate-claim detection (always on; resolution is the
+            # hook's business). Do NOT poison our own cache with the
+            # foreign binding.
+            self.conflicts_seen += 1
+            # Note: the claimant MAC is deliberately not traced — MACs
+            # are allocated from a process-global counter, so their
+            # absolute values are not stable across replays.
+            self.host.trace("arp", "conflict", ip=str(sender_ip))
+            if self.on_vip_conflict is not None:
+                self.on_vip_conflict(sender_ip, sender_mac)
+        else:
+            self.cache.store(sender_ip, sender_mac)
+            self._flush_pending(sender_ip)
         if packet.op == ArpOp.REQUEST and nic.owns_ip(packet.target_ip):
             self._send_reply(nic, packet)
 

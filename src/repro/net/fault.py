@@ -5,7 +5,50 @@ Wackamole, and the experimental server access the network" — that is
 :meth:`FaultInjector.nic_down`. Crashes, graceful recovery, and switch
 partitions/merges (§3.1) are also provided, both immediately and as
 scheduled events for scripted fault timelines.
+
+Beyond those fail-stop faults the injector carries the *gray* repertoire
+(``docs/FAULTS.md``): one-way link blocks, Gilbert–Elliott burst loss,
+frame duplication/reordering, per-host slowdown, bounded clock skew, and
+daemon wedging — faults where the component degrades without dying, the
+regime the paper's clean disconnects never exercise.
+
+Every injection appends a :class:`FaultRecord` to :attr:`FaultInjector.log`;
+records iterate as the historical ``(time, kind, target)`` triple and
+serialise via :meth:`FaultRecord.to_dict` into check artifacts, so a
+trial's exact fault timeline rides along with its verdict.
 """
+
+
+class FaultRecord:
+    """One injected fault: when, what, against which target.
+
+    Unpacks as the legacy ``(time, kind, target)`` triple; ``param``
+    carries an optional fault magnitude (loss probability, slowdown
+    factor, skew offset) and appears in :meth:`to_dict` only when set.
+    """
+
+    __slots__ = ("time", "kind", "target", "param")
+
+    def __init__(self, time, kind, target, param=None):
+        self.time = time
+        self.kind = kind
+        self.target = target
+        self.param = param
+
+    def __iter__(self):
+        return iter((self.time, self.kind, self.target))
+
+    def to_dict(self):
+        record = {"time": self.time, "kind": self.kind, "target": self.target}
+        if self.param is not None:
+            record["param"] = self.param
+        return record
+
+    def __repr__(self):
+        extra = "" if self.param is None else ", param={}".format(self.param)
+        return "FaultRecord(t={:.4f}, {}, {}{})".format(
+            self.time, self.kind, self.target, extra
+        )
 
 
 class FaultInjector:
@@ -15,9 +58,16 @@ class FaultInjector:
         self.sim = sim
         self.log = []
 
-    def _record(self, kind, target):
-        self.log.append((self.sim.now, kind, target))
-        self.sim.trace.emit("fault", "injector", kind, target=target)
+    def _record(self, kind, target, param=None):
+        self.log.append(FaultRecord(self.sim.now, kind, target, param))
+        if param is None:
+            self.sim.trace.emit("fault", "injector", kind, target=target)
+        else:
+            self.sim.trace.emit("fault", "injector", kind, target=target, param=param)
+
+    def log_as_dicts(self):
+        """The fault timeline as JSON-compatible dicts (artifact form)."""
+        return [record.to_dict() for record in self.log]
 
     # ------------------------------------------------------------------
     # immediate faults
@@ -51,6 +101,110 @@ class FaultInjector:
         """Merge a partitioned LAN back into one segment."""
         self._record("heal", lan.name)
         lan.heal()
+
+    # ------------------------------------------------------------------
+    # gray faults (see docs/FAULTS.md)
+
+    def asym_partition(self, lan, deaf_hosts):
+        """Make ``deaf_hosts`` stop *hearing* the rest of the segment.
+
+        Frames from every other NIC toward a deaf host are dropped while
+        the deaf host's own transmissions still flow — the classic
+        one-way gray link that symmetric partitions cannot model. The
+        deaf side keeps claiming VIPs it can no longer defend, which is
+        exactly the duplicate-claim scenario conflict resolution must
+        clean up after :meth:`asym_heal`.
+        """
+        deaf = sorted(set(deaf_hosts), key=lambda host: host.name)
+        deaf_set = set(deaf)
+        self._record(
+            "asym_partition",
+            "{}:{}".format(lan.name, ",".join(host.name for host in deaf)),
+        )
+        deaf_nics = [nic for host in deaf for nic in lan._nics_of(host)]
+        for nic in lan.nics:
+            if nic.host in deaf_set:
+                continue
+            for victim in deaf_nics:
+                lan.block_direction(nic, victim)
+
+    def asym_heal(self, lan):
+        """Remove every directed block on ``lan``."""
+        self._record("asym_heal", lan.name)
+        lan.clear_blocks()
+
+    def burst_loss_on(self, lan, model):
+        """Install a burst-loss channel (e.g. :class:`GilbertElliott`)."""
+        self._record("burst_loss_on", lan.name, param=model.describe())
+        lan.set_link_model(model)
+
+    def burst_loss_off(self, lan):
+        """Remove the burst-loss channel."""
+        self._record("burst_loss_off", lan.name)
+        lan.set_link_model(None)
+
+    def set_duplication(self, lan, probability):
+        """Set the per-delivery frame-duplication probability."""
+        self._record("duplication", lan.name, param=float(probability))
+        lan.set_duplication(probability)
+
+    def set_reordering(self, lan, probability, window=None):
+        """Set the per-delivery reordering probability (and window)."""
+        self._record("reordering", lan.name, param=float(probability))
+        lan.set_reordering(probability, window=window)
+
+    def slow_host(self, host, factor):
+        """Stretch a host's timers by ``factor`` (wedged-but-alive box)."""
+        self._record("slow_host", host.name, param=float(factor))
+        host.set_slowdown(factor)
+
+    def unslow_host(self, host):
+        """Restore a slowed host to normal speed."""
+        self._record("unslow_host", host.name)
+        host.set_slowdown(1.0, delivery_lag=0.0)
+
+    def skew_clock(self, host, offset):
+        """Offset a host's local clock reading by ``offset`` seconds."""
+        self._record("clock_skew", host.name, param=float(offset))
+        host.set_clock_skew(offset)
+
+    def unskew_clock(self, host):
+        """Remove a host's clock skew."""
+        self._record("clock_unskew", host.name)
+        host.set_clock_skew(0.0)
+
+    def wedge_daemon(self, daemon):
+        """Wedge a daemon: alive, socket open, but deaf and mute.
+
+        The host keeps answering ARP and the process keeps its port, so
+        nothing fail-stop happens — peers just stop hearing heartbeats.
+        This is the supervisor's detection target.
+        """
+        self._record("daemon_wedge", daemon.name)
+        daemon.wedged = True
+
+    def unwedge_daemon(self, daemon):
+        """Un-wedge a wedged daemon (it resumes where it left off)."""
+        self._record("daemon_unwedge", daemon.name)
+        daemon.wedged = False
+
+    def kill_daemon(self, daemon):
+        """Kill one daemon process without touching its host.
+
+        For a GCS client (a Wackamole daemon) the process death also
+        breaks its IPC session, so the local GCS daemon notices and
+        evicts it from its groups — without that, a zombie group member
+        would wedge every future GATHER.
+        """
+        self._record("daemon_kill", daemon.name)
+        client = getattr(daemon, "client", None)
+        daemon.stop()
+        if (
+            client is not None
+            and client.connected
+            and client.daemon.alive
+        ):
+            client.kill()
 
     # ------------------------------------------------------------------
     # scheduled faults

@@ -26,6 +26,7 @@ class Host(Process):
     def __init__(self, sim, name, arp_cache_lifetime=60.0):
         super().__init__(sim, name)
         self._nics = []
+        self.clock_skew = 0.0
         self.arp = ArpService(self, cache_lifetime=arp_cache_lifetime)
         self._sockets = []
         self.default_gateway = None
@@ -35,6 +36,7 @@ class Host(Process):
         self._services = []
         self._load_mean_delay = 0.0
         self._load_rng = None
+        self._slow_delivery_lag = 0.0
 
     # ------------------------------------------------------------------
     # interfaces
@@ -70,6 +72,50 @@ class Host(Process):
         address = IPAddress(address)
         return any(nic.up and nic.owns_ip(address) for nic in self._nics)
 
+    # ------------------------------------------------------------------
+    # gray degradation: slowdown and clock skew (see docs/FAULTS.md)
+
+    @property
+    def local_time(self):
+        """This host's wall clock: simulated time plus its skew offset."""
+        return self.sim.now + self.clock_skew
+
+    def set_clock_skew(self, offset):
+        """Offset this host's local clock by ``offset`` seconds (±60 max).
+
+        Skew only affects *readings* of the local clock (ARP cache
+        aging, anything consulting :attr:`local_time`); timers measure
+        durations, which skew does not change. The bound rejects
+        nonsense offsets that no NTP-adrift machine would exhibit.
+        """
+        offset = float(offset)
+        if not -60.0 <= offset <= 60.0:
+            raise ValueError("clock skew must be within +/-60s, got {}".format(offset))
+        self.clock_skew = offset
+        self.trace("host", "clock_skew", offset=offset)
+
+    def set_slowdown(self, factor, delivery_lag=None):
+        """Stretch this host's local timers by ``factor`` (1.0 = normal).
+
+        Models a wedged-but-alive machine: every managed timer delay
+        (heartbeats, timeouts, retries) of the host *and its registered
+        services* runs ``factor`` times late, and user-space datagram
+        delivery incurs a fixed ``delivery_lag`` (default: scaled up
+        from the extra stretch). The machine still answers ARP at full
+        speed — the kernel is fine, the box is just slow — which is
+        precisely the gray failure a K-miss detector must ride out.
+        """
+        factor = float(factor)
+        if factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1.0, got {}".format(factor))
+        self.time_scale = factor
+        for service in self._services:
+            service.time_scale = factor
+        if delivery_lag is None:
+            delivery_lag = 0.001 * (factor - 1.0)
+        self._slow_delivery_lag = float(delivery_lag)
+        self.trace("host", "slowdown", factor=factor)
+
     def set_load(self, mean_delay):
         """Model a loaded machine: user-space datagram delivery incurs
         an exponential scheduling delay with the given mean (seconds).
@@ -90,8 +136,14 @@ class Host(Process):
     # crash / recovery
 
     def register_service(self, process):
-        """Tie a daemon process's lifetime to this host (dies on crash)."""
+        """Tie a daemon process's lifetime to this host (dies on crash).
+
+        A service registered on a slowed host inherits the slowdown —
+        a restarted daemon does not escape the sick machine it runs on.
+        """
         self._services.append(process)
+        if self.time_scale != 1.0:
+            process.time_scale = self.time_scale
 
     def crash(self):
         """Fail-stop: kill services and timers, stop receiving and sending.
@@ -109,9 +161,15 @@ class Host(Process):
         self.stop()
 
     def recover(self):
-        """Reboot: fresh ARP cache, interfaces reset to primaries only."""
+        """Reboot: fresh ARP cache, interfaces reset to primaries only.
+
+        A reboot clears a slowdown (the wedged software is gone) but
+        not clock skew — the drifted hardware clock survives a reboot.
+        """
         self.restart()
-        self.arp.cache = type(self.arp.cache)(lambda: self.sim.now)
+        self.time_scale = 1.0
+        self._slow_delivery_lag = 0.0
+        self.arp.cache = type(self.arp.cache)(lambda: self.local_time)
         for nic in self._nics:
             nic.reset()
         self.trace("host", "recover")
@@ -146,7 +204,16 @@ class Host(Process):
         dst_port = datagram.dst_port
         for socket in self._sockets:
             if socket.matches(dst_ip, dst_port):
-                if self._load_mean_delay > 0 and not socket.realtime:
+                lag = self._slow_delivery_lag
+                if lag and not socket.realtime:
+                    self.sim.scheduler.after(
+                        lag,
+                        self._deliver_socket,
+                        socket,
+                        datagram,
+                        packet,
+                    )
+                elif self._load_mean_delay > 0 and not socket.realtime:
                     delay = self._load_rng.expovariate(1.0 / self._load_mean_delay)
                     self.sim.scheduler.after(
                         delay,
@@ -162,6 +229,15 @@ class Host(Process):
                     )
                 return
         self.packets_dropped += 1
+
+    def _deliver_socket(self, socket, datagram, packet):
+        # Deferred user-space delivery on a slowed host; the socket may
+        # have closed while the datagram sat in the (slow) run queue.
+        if not self.alive or socket.closed:
+            return
+        socket.deliver(
+            datagram.payload, packet.src_ip, datagram.src_port, packet.dst_ip
+        )
 
     # ------------------------------------------------------------------
     # sockets and UDP output

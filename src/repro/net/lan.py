@@ -1,4 +1,4 @@
-"""A LAN segment: one broadcast domain with partition support.
+"""A LAN segment: one broadcast domain with partition and gray faults.
 
 Frames are delivered after a configurable latency (plus optional
 jitter) to every attached, up interface in the same *partition group*
@@ -13,6 +13,13 @@ topology or partition groups change. The cached lists preserve attach
 order (the order the old per-frame scan used), so the loss/jitter RNG
 draw sequence, and with it every trace and verdict, is byte-identical
 to the uncached path.
+
+Beyond fail-stop partitions the segment supports *gray* link faults
+(see ``docs/FAULTS.md``): directed blocks (A→B dropped while B→A
+flows), a Gilbert–Elliott burst-loss channel, and frame duplication /
+reordering knobs. All gray draws come from a dedicated RNG stream
+(``lan/<name>/gray``) consulted only while a gray knob is active, so
+runs that never enable one replay the exact historical draw sequence.
 """
 
 from repro.net.addresses import Subnet
@@ -38,6 +45,24 @@ class Lan:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost = 0
+        self.frames_blocked = 0
+        self.frames_burst_lost = 0
+        self.frames_duplicated = 0
+        self.frames_reordered = 0
+        # Gray-fault state: directed (src_nic, dst_nic) blocks, an
+        # optional burst-loss channel, and duplication/reordering
+        # probabilities. ``_gray_active`` gates one attribute test on
+        # the per-frame fast path; the dedicated RNG stream and the
+        # gray metric instruments are created on first use so inactive
+        # runs stay byte-identical (draws AND metric catalogs).
+        self._blocked = set()
+        self._link_model = None
+        self.duplicate_prob = 0.0
+        self.reorder_prob = 0.0
+        self.reorder_window = 0.002
+        self._gray_active = False
+        self._gray_rng = None
+        self._m_gray = None
         metrics = sim.metrics
         self._m_sent = metrics.counter("net.frames_sent", node=name)
         self._m_broadcast = metrics.counter("net.broadcasts", node=name)
@@ -120,9 +145,128 @@ class Lan:
         self._mac_index = index
         return index
 
+    # ------------------------------------------------------------------
+    # gray link faults (see docs/FAULTS.md)
+
+    def _refresh_gray(self):
+        self._gray_active = bool(
+            self._blocked
+            or self._link_model is not None
+            or self.duplicate_prob
+            or self.reorder_prob
+        )
+        if self._gray_active and self._gray_rng is None:
+            self._gray_rng = self.sim.rng.stream("lan/{}/gray".format(self.name))
+        if self._gray_active and self._m_gray is None:
+            metrics = self.sim.metrics
+            self._m_gray = {
+                "blocked": metrics.counter("net.frames_blocked", node=self.name),
+                "burst_lost": metrics.counter("net.frames_burst_lost", node=self.name),
+                "duplicated": metrics.counter("net.frames_duplicated", node=self.name),
+                "reordered": metrics.counter("net.frames_reordered", node=self.name),
+            }
+
+    def block_direction(self, src, dst):
+        """Drop every frame flowing ``src`` → ``dst`` (one way only).
+
+        ``src``/``dst`` accept NICs or hosts (all of a host's NICs on
+        this LAN). The reverse direction keeps flowing — the classic
+        one-way gray link. Blocks compose with partition groups.
+        """
+        for src_nic in self._nics_of(src):
+            for dst_nic in self._nics_of(dst):
+                if src_nic is not dst_nic:
+                    self._blocked.add((src_nic, dst_nic))
+        self._refresh_gray()
+        self.sim.trace.emit(
+            "lan", self.name, "block_direction", pairs=len(self._blocked)
+        )
+
+    def unblock_direction(self, src, dst):
+        """Restore the ``src`` → ``dst`` direction."""
+        for src_nic in self._nics_of(src):
+            for dst_nic in self._nics_of(dst):
+                self._blocked.discard((src_nic, dst_nic))
+        self._refresh_gray()
+        self.sim.trace.emit(
+            "lan", self.name, "unblock_direction", pairs=len(self._blocked)
+        )
+
+    def clear_blocks(self):
+        """Remove every directed block."""
+        self._blocked.clear()
+        self._refresh_gray()
+
+    @property
+    def blocked_pairs(self):
+        """Number of directed (src, dst) NIC pairs currently blocked."""
+        return len(self._blocked)
+
+    @property
+    def link_model(self):
+        """The installed burst-loss channel model, or None."""
+        return self._link_model
+
+    def set_link_model(self, model):
+        """Install (or with ``None`` remove) a burst-loss channel model."""
+        self._link_model = model
+        self._refresh_gray()
+        self.sim.trace.emit(
+            "lan",
+            self.name,
+            "link_model",
+            params=model.describe() if model is not None else None,
+        )
+
+    @property
+    def link_model(self):
+        """The installed burst-loss model, or None."""
+        return self._link_model
+
+    def set_duplication(self, probability):
+        """Per-delivery probability that a frame arrives twice."""
+        self.duplicate_prob = float(probability)
+        self._refresh_gray()
+
+    def set_reordering(self, probability, window=None):
+        """Per-delivery probability of an extra uniform(0, window) delay.
+
+        A delayed frame is overtaken by later frames — UDP reordering.
+        """
+        self.reorder_prob = float(probability)
+        if window is not None:
+            self.reorder_window = float(window)
+        self._refresh_gray()
+
     def connected(self, nic_a, nic_b):
-        """True when two interfaces can currently exchange frames."""
-        return self._groups[nic_a] == self._groups[nic_b]
+        """True when two interfaces can currently exchange frames.
+
+        Requires the *pair* to be healthy: same partition group and
+        neither direction blocked. A one-way link therefore counts as
+        disconnected for auditing purposes — coverage must converge per
+        strongly-connected component, not per optimistic half-link.
+        """
+        if self._groups[nic_a] != self._groups[nic_b]:
+            return False
+        if self._blocked and (
+            (nic_a, nic_b) in self._blocked or (nic_b, nic_a) in self._blocked
+        ):
+            return False
+        return True
+
+    def reaches(self, src_nic, dst_nic):
+        """True when frames currently flow ``src`` → ``dst`` (one way).
+
+        The optimistic half of :meth:`connected`: under nested
+        asymmetric blocks a host may still *receive* from a peer it can
+        no longer answer. The auditor uses this to recognise a stale
+        singleton that is being repaired by traffic it can hear.
+        """
+        if self._groups[src_nic] != self._groups[dst_nic]:
+            return False
+        if self._blocked and (src_nic, dst_nic) in self._blocked:
+            return False
+        return True
 
     def transmit(self, frame, src_nic):
         """Deliver ``frame`` from ``src_nic`` per MAC addressing rules."""
@@ -157,21 +301,72 @@ class Lan:
         rng = self._rng
         delivered = 0
         lost = 0
-        for nic in recipients:
-            if loss and rng.random() < loss:
-                lost += 1
-                continue
-            delay = latency
-            if jitter:
-                delay += rng.uniform(0.0, jitter)
-            delivered += 1
-            after(delay, nic.deliver, frame)
+        if self._gray_active:
+            delivered, lost = self._transmit_gray(
+                frame, src_nic, recipients, after, loss, jitter, latency, rng
+            )
+        else:
+            for nic in recipients:
+                if loss and rng.random() < loss:
+                    lost += 1
+                    continue
+                delay = latency
+                if jitter:
+                    delay += rng.uniform(0.0, jitter)
+                delivered += 1
+                after(delay, nic.deliver, frame)
         if lost:
             self.frames_lost += lost
             self._m_lost.inc(lost)
         if delivered:
             self.frames_delivered += delivered
             self._m_delivered.inc(delivered)
+
+    def _transmit_gray(self, frame, src_nic, recipients, after, loss, jitter, latency, rng):
+        """Delivery loop with the gray knobs consulted per recipient.
+
+        The base loss/jitter draws keep their historical order (one
+        pair per non-blocked recipient, from the base stream); every
+        gray decision draws from the dedicated gray stream, so enabling
+        a knob mid-run never perturbs the base sequence for frames that
+        are delivered normally.
+        """
+        blocked = self._blocked
+        model = self._link_model
+        gray_rng = self._gray_rng
+        counters = self._m_gray
+        duplicate_prob = self.duplicate_prob
+        reorder_prob = self.reorder_prob
+        delivered = 0
+        lost = 0
+        for nic in recipients:
+            if blocked and (src_nic, nic) in blocked:
+                self.frames_blocked += 1
+                counters["blocked"].inc()
+                continue
+            if loss and rng.random() < loss:
+                lost += 1
+                continue
+            delay = latency
+            if jitter:
+                delay += rng.uniform(0.0, jitter)
+            if model is not None and model.drops(gray_rng):
+                self.frames_burst_lost += 1
+                counters["burst_lost"].inc()
+                lost += 1
+                continue
+            if reorder_prob and gray_rng.random() < reorder_prob:
+                delay += gray_rng.uniform(0.0, self.reorder_window)
+                self.frames_reordered += 1
+                counters["reordered"].inc()
+            delivered += 1
+            after(delay, nic.deliver, frame)
+            if duplicate_prob and gray_rng.random() < duplicate_prob:
+                self.frames_duplicated += 1
+                counters["duplicated"].inc()
+                delivered += 1
+                after(delay + gray_rng.uniform(0.0, latency), nic.deliver, frame)
+        return delivered, lost
 
     def __repr__(self):
         return "Lan({}, {}, {} nics)".format(self.name, self.subnet, len(self._nics))

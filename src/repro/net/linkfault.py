@@ -1,0 +1,93 @@
+"""Gray-failure link models: burst loss, duplication, reordering.
+
+Clean fail-stop faults (``nic_down``, crashes, partitions) are what the
+paper's §6 induces; real segments mostly degrade instead of dying. This
+module supplies the *link-quality* half of the gray repertoire:
+
+* :class:`GilbertElliott` — the classic two-state burst-loss channel.
+  The link flips between a GOOD state (low loss) and a BAD state (high
+  loss) with per-frame transition probabilities, so losses arrive in
+  bursts rather than independently — exactly the pattern that defeats
+  naive single-miss failure detectors.
+* frame duplication and reordering knobs live on :class:`~repro.net.lan.Lan`
+  itself (``duplicate_prob`` / ``reorder_prob``) and draw from the same
+  dedicated stream.
+
+Determinism: every draw comes from a dedicated named stream of the
+simulation's :class:`~repro.sim.rng.RngRegistry` (``lan/<name>/gray``),
+never from the LAN's base loss/jitter stream. A run that never enables
+a gray knob therefore consumes *exactly* the RNG sequence it consumed
+before this module existed, which keeps the seed experiments and every
+recorded check artifact byte-identical.
+"""
+
+
+class GilbertElliott:
+    """Two-state Markov burst-loss model, advanced once per delivery.
+
+    ``p_good_to_bad`` / ``p_bad_to_good`` are per-frame transition
+    probabilities; ``loss_good`` / ``loss_bad`` are the drop
+    probabilities inside each state. The state advances *before* the
+    loss draw, so a model constructed mid-run behaves identically to
+    one that idled in GOOD until that moment.
+    """
+
+    __slots__ = (
+        "p_good_to_bad",
+        "p_bad_to_good",
+        "loss_good",
+        "loss_bad",
+        "bad",
+        "transitions",
+        "losses",
+    )
+
+    def __init__(self, p_good_to_bad=0.05, p_bad_to_good=0.25, loss_good=0.0, loss_bad=0.9):
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("{} must be in [0, 1], got {}".format(name, value))
+        self.p_good_to_bad = float(p_good_to_bad)
+        self.p_bad_to_good = float(p_bad_to_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self.bad = False
+        self.transitions = 0
+        self.losses = 0
+
+    def drops(self, rng):
+        """Advance the channel one frame and decide whether it is lost."""
+        if self.bad:
+            if rng.random() < self.p_bad_to_good:
+                self.bad = False
+                self.transitions += 1
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self.bad = True
+                self.transitions += 1
+        loss = self.loss_bad if self.bad else self.loss_good
+        if loss and rng.random() < loss:
+            self.losses += 1
+            return True
+        return False
+
+    def describe(self):
+        """JSON-compatible parameter dict (for traces and fault logs)."""
+        return {
+            "p_good_to_bad": self.p_good_to_bad,
+            "p_bad_to_good": self.p_bad_to_good,
+            "loss_good": self.loss_good,
+            "loss_bad": self.loss_bad,
+        }
+
+    def __repr__(self):
+        return "GilbertElliott(g2b={}, b2g={}, bad_loss={}, {})".format(
+            self.p_good_to_bad,
+            self.p_bad_to_good,
+            self.loss_bad,
+            "BAD" if self.bad else "GOOD",
+        )

@@ -18,6 +18,11 @@ layer) into the package init would create an import cycle. Import
 driver from their modules directly.
 """
 
+from repro.obs.degraded import (
+    DegradedSpan,
+    degraded_spans,
+    degraded_spans_as_dicts,
+)
 from repro.obs.episodes import (
     FailoverEpisode,
     episodes_as_dicts,
@@ -34,11 +39,14 @@ from repro.obs.metrics import (
 
 __all__ = [
     "Counter",
+    "DegradedSpan",
     "FailoverEpisode",
     "Gauge",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
     "TimeWeightedHistogram",
+    "degraded_spans",
+    "degraded_spans_as_dicts",
     "episodes_as_dicts",
     "extract_episodes",
     "first_complete_episode",

@@ -1,0 +1,145 @@
+"""Degraded-mode spans: how long each gray fault was in force.
+
+Fail-stop faults produce :mod:`repro.obs.episodes` — the cluster's
+*reaction*. Gray faults additionally have an *exposure window*: the
+interval during which a link was bursty, a host slow, a clock skewed, a
+direction blocked, or a daemon wedged. This module stitches those
+windows out of the injector's trace records, pairing each onset with
+its healing record (or, for a wedged daemon, with the supervisor
+restart that replaced it).
+
+Like episode extraction this is a pure function of the trace, so the
+span lists ride along in check artifacts and must replay
+byte-identically (`repro check --replay` compares them).
+"""
+
+#: onset event -> the injector event that ends the span.
+_HEAL_OF = {
+    "asym_partition": "asym_heal",
+    "burst_loss_on": "burst_loss_off",
+    "slow_host": "unslow_host",
+    "clock_skew": "clock_unskew",
+    "daemon_wedge": "daemon_unwedge",
+}
+
+
+def _round(value):
+    """Stable rounding for serialised times/durations (ns resolution)."""
+    return None if value is None else round(value, 9)
+
+
+class DegradedSpan:
+    """One gray-fault exposure window."""
+
+    __slots__ = ("kind", "target", "param", "start", "end", "end_cause")
+
+    def __init__(self, kind, target, param, start):
+        self.kind = kind
+        self.target = target
+        self.param = param
+        self.start = start
+        self.end = None
+        self.end_cause = None
+
+    @property
+    def duration(self):
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def close(self, time, cause):
+        self.end = time
+        self.end_cause = cause
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "param": self.param,
+            "start": _round(self.start),
+            "end": _round(self.end),
+            "duration": _round(self.duration),
+            "end_cause": self.end_cause,
+        }
+
+    def __repr__(self):
+        return "DegradedSpan({}, {}, {:.4f}..{})".format(
+            self.kind,
+            self.target,
+            self.start,
+            "open" if self.end is None else "{:.4f}".format(self.end),
+        )
+
+
+def _matches(span, heal_event, target):
+    """Does a healing record with this event/target close ``span``?"""
+    if _HEAL_OF[span.kind] != heal_event:
+        return False
+    if span.kind == "asym_partition":
+        # Onset target is "<lan>:<deaf hosts>"; the heal names the LAN.
+        return span.target.split(":", 1)[0] == target
+    return span.target == target
+
+
+def degraded_spans(records):
+    """Stitch the trace into a list of :class:`DegradedSpan`.
+
+    Spans close on their own healing record, on a host crash (for
+    host-scoped faults — the reboot resets a slowdown, and a wedged
+    daemon dies with its host), or on a supervisor restart of the
+    wedged daemon. Spans still open at the end of the trace keep
+    ``end=None``.
+    """
+    spans = []
+    open_spans = []
+    for record in records:
+        if record.category == "fault" and record.source == "injector":
+            event = record.event
+            target = record.details.get("target")
+            if event in _HEAL_OF:
+                spans.append(
+                    DegradedSpan(
+                        event, target, record.details.get("param"), record.time
+                    )
+                )
+                open_spans.append(spans[-1])
+                continue
+            closed = [
+                span for span in open_spans if _matches(span, event, target)
+            ]
+            if closed:
+                for span in closed:
+                    span.close(record.time, event)
+                open_spans = [s for s in open_spans if s not in closed]
+            elif event == "crash":
+                # A crash ends every host-scoped degradation (slowdown
+                # dies with the software; the wedged daemon dies too).
+                dead = [
+                    span
+                    for span in open_spans
+                    if (span.kind == "slow_host" and span.target == target)
+                    or (
+                        span.kind == "daemon_wedge"
+                        # Daemon names are "spread@<host>[-r<n>|-s<n>]".
+                        and span.target.split("@", 1)[-1].split("-", 1)[0] == target
+                    )
+                ]
+                for span in dead:
+                    span.close(record.time, "crash")
+                open_spans = [s for s in open_spans if s not in dead]
+        elif record.category == "supervisor" and record.event == "restart_spread":
+            old = record.details.get("old")
+            replaced = [
+                span
+                for span in open_spans
+                if span.kind == "daemon_wedge" and span.target == "spread@{}".format(old)
+            ]
+            for span in replaced:
+                span.close(record.time, "supervisor_restart")
+            open_spans = [s for s in open_spans if s not in replaced]
+    return spans
+
+
+def degraded_spans_as_dicts(records):
+    """``degraded_spans`` serialised — the replayable artifact form."""
+    return [span.to_dict() for span in degraded_spans(records)]

@@ -17,6 +17,7 @@ class Process:
         self.sim = sim
         self.name = name
         self.alive = True
+        self.time_scale = 1.0
         self._timers = []
 
     @property
@@ -33,22 +34,37 @@ class Process:
         return self.sim.rng.stream("{}/{}".format(self.name, purpose))
 
     def timer(self, callback, name=""):
-        """Create a managed one-shot timer; guarded by ``alive``."""
-        timer = Timer(self.sim.scheduler, self._guard(callback), name=name)
+        """Create a managed one-shot timer; guarded by ``alive``.
+
+        Delays are stretched by ``time_scale`` (a slowed host's local
+        clock runs late — the gray-failure slowdown injection).
+        """
+        timer = Timer(
+            self.sim.scheduler, self._guard(callback), name=name, scale=self._scale
+        )
         self._timers.append(timer)
         return timer
 
     def periodic(self, callback, interval, name=""):
         """Create a managed periodic timer; guarded by ``alive``."""
         timer = PeriodicTimer(
-            self.sim.scheduler, self._guard(callback), interval, name=name
+            self.sim.scheduler,
+            self._guard(callback),
+            interval,
+            name=name,
+            scale=self._scale,
         )
         self._timers.append(timer)
         return timer
 
     def after(self, delay, callback, *args):
-        """One-shot scheduled call guarded by ``alive``."""
-        return self.sim.scheduler.after(delay, self._guard(callback), *args)
+        """One-shot scheduled call guarded by ``alive`` (also scaled)."""
+        return self.sim.scheduler.after(
+            delay * self.time_scale, self._guard(callback), *args
+        )
+
+    def _scale(self):
+        return self.time_scale
 
     def stop(self):
         """Kill the process: cancel every managed timer, drop callbacks."""

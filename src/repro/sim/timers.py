@@ -20,13 +20,19 @@ class Timer:
 
     ``start`` (re)arms the timer; a second ``start`` cancels the first
     deadline, which is how protocol timeouts are refreshed.
+
+    ``scale`` is an optional zero-argument callable returning a time
+    multiplier sampled at each ``start``; a slowed host (gray-failure
+    injection) stretches every local timeout through it. The default is
+    no callable at all, so unscaled timers pay nothing.
     """
 
-    def __init__(self, scheduler, callback, name=""):
+    def __init__(self, scheduler, callback, name="", scale=None):
         self._scheduler = scheduler
         self._callback = callback
         self._event = None
         self._spare = None
+        self._scale = scale
         self.name = name
 
     @property
@@ -44,6 +50,8 @@ class Timer:
     def start(self, delay):
         """Arm (or re-arm) the timer to fire after ``delay`` seconds."""
         self.cancel()
+        if self._scale is not None:
+            delay *= self._scale()
         spare = self._spare
         if spare is None:
             self._event = self._scheduler.after(delay, self._fire)
@@ -66,13 +74,14 @@ class Timer:
 class PeriodicTimer:
     """A repeating timer; fires every ``interval`` seconds until stopped."""
 
-    def __init__(self, scheduler, callback, interval, name=""):
+    def __init__(self, scheduler, callback, interval, name="", scale=None):
         if interval <= 0:
             raise ValueError("interval must be positive, got {}".format(interval))
         self._scheduler = scheduler
         self._callback = callback
         self.interval = float(interval)
         self._event = None
+        self._scale = scale
         self.name = name
 
     @property
@@ -84,6 +93,8 @@ class PeriodicTimer:
         """Begin ticking; first tick after ``first_delay`` (default: interval)."""
         self.stop()
         delay = self.interval if first_delay is None else first_delay
+        if self._scale is not None:
+            delay *= self._scale()
         self._event = self._scheduler.after(delay, self._tick)
 
     def stop(self):
@@ -95,7 +106,8 @@ class PeriodicTimer:
     def _tick(self):
         # The event that just fired is dead; recycle it for the next
         # tick instead of allocating one per interval.
-        self._event = self._scheduler.reschedule(
-            self._event, self.interval, self._tick
-        )
+        interval = self.interval
+        if self._scale is not None:
+            interval *= self._scale()
+        self._event = self._scheduler.reschedule(self._event, interval, self._tick)
         self._callback()

@@ -146,3 +146,37 @@ def test_run_specs_matches_campaign_trials_for_same_specs():
     params = campaign_params(base_seed=5, trials=2, horizon=20.0, events_per_trial=4)
     specs = [build_trial_spec(params, index) for index in range(2)]
     assert run_specs(specs) == run_campaign_trials(params)
+
+
+# ----------------------------------------------------------------------
+# gray campaigns (hardened cluster vs the gray repertoire)
+
+
+def test_gray_campaign_is_clean_and_replays_identically(tmp_path):
+    kwargs = dict(
+        base_seed=20260806,
+        trials=2,
+        workers=1,
+        horizon=30.0,
+        events_per_trial=6,
+        artifacts_dir=tmp_path,
+        gray=True,
+    )
+    report = run_campaign(**kwargs)
+    assert report.passed
+    assert os.listdir(str(tmp_path)) == []
+    # Gray trials carry the applied fault timeline in their results.
+    assert all(result["fault_log"] for result in report.results)
+    # Byte-identical re-run: the campaign is a pure function of kwargs.
+    again = run_campaign(**kwargs)
+    assert again.results == report.results
+
+
+def test_gray_flag_changes_schedules_but_not_seeds():
+    plain = build_specs(base_seed=3, trials=2, horizon=20.0, events_per_trial=5)
+    gray = build_specs(
+        base_seed=3, trials=2, horizon=20.0, events_per_trial=5, gray=True
+    )
+    assert [s["seed"] for s in plain] == [s["seed"] for s in gray]
+    assert plain[0]["schedule"] != gray[0]["schedule"]
+    assert plain[0]["gray"] is False and gray[0]["gray"] is True

@@ -3,8 +3,13 @@
 import pytest
 
 from repro.check.schedule import (
+    ALL_KINDS,
+    BURST_LOSS,
+    CLOCK_SKEW,
     CRASH,
+    GRAY_KINDS,
     KINDS,
+    SLOW_HOST,
     FaultEvent,
     FaultSchedule,
     generate_schedule,
@@ -70,3 +75,61 @@ def test_partition_split_normalized_sorted():
     event = FaultEvent("partition", 1.0, duration=2.0, split=[3, 1, 2])
     assert event.split == (1, 2, 3)
     assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+# ----------------------------------------------------------------------
+# gray-mix generation (docs/FAULTS.md)
+
+
+def test_gray_generation_is_deterministic():
+    a = generate_schedule(RngRegistry(3).stream("s"), n_hosts=4, n_events=20, gray=True)
+    b = generate_schedule(RngRegistry(3).stream("s"), n_hosts=4, n_events=20, gray=True)
+    assert a == b
+    assert len(a) == 20
+
+
+def test_gray_mix_draws_gray_kinds():
+    schedule = generate_schedule(
+        RngRegistry(8).stream("s"), n_hosts=4, n_events=40, gray=True
+    )
+    kinds = {event.kind for event in schedule.events}
+    assert kinds & set(GRAY_KINDS)
+    # The fail-stop backbone stays in the mix.
+    assert kinds & set(KINDS)
+    assert kinds <= set(ALL_KINDS)
+
+
+def test_non_gray_generation_never_draws_gray_kinds():
+    """gray=False must reproduce the historical repertoire exactly —
+    existing campaign seeds depend on an unchanged draw sequence."""
+    schedule = generate_schedule(
+        RngRegistry(8).stream("s"), n_hosts=4, n_events=40, gray=False
+    )
+    assert all(event.kind in KINDS for event in schedule.events)
+    assert all(event.param is None for event in schedule.events)
+    # ...so their serialised form carries no "param" keys at all.
+    assert all("param" not in e for e in schedule.to_dict()["events"])
+
+
+def test_gray_params_survive_json_round_trip():
+    schedule = generate_schedule(
+        RngRegistry(5).stream("s"), n_hosts=4, n_events=30, gray=True
+    )
+    with_param = [e for e in schedule.events if e.param is not None]
+    assert with_param  # burst loss / slowdown / skew magnitudes drawn
+    restored = FaultSchedule.from_json(schedule.to_json())
+    assert restored == schedule
+    assert [e.param for e in restored.events] == [e.param for e in schedule.events]
+
+
+def test_gray_event_params_are_bounded():
+    schedule = generate_schedule(
+        RngRegistry(13).stream("s"), n_hosts=5, n_events=60, gray=True
+    )
+    for event in schedule.events:
+        if event.kind == BURST_LOSS:
+            assert 0.5 <= event.param <= 0.95
+        elif event.kind == SLOW_HOST:
+            assert 1.5 <= event.param <= 3.0
+        elif event.kind == CLOCK_SKEW:
+            assert -5.0 <= event.param <= 5.0

@@ -68,3 +68,85 @@ def test_faults_traced():
     sim, lan, hosts, injector = build()
     injector.crash_host(hosts[0])
     assert sim.trace.last(category="fault", event="crash") is not None
+
+
+# ----------------------------------------------------------------------
+# fault-log records (check-artifact form)
+
+
+def test_log_records_unpack_as_legacy_triples():
+    sim, lan, hosts, injector = build()
+    injector.crash_host(hosts[0])
+    time, kind, target = injector.log[0]
+    assert (time, kind, target) == (sim.now, "crash", "h0")
+
+
+def test_log_records_serialise_to_dicts():
+    sim, lan, hosts, injector = build()
+    injector.crash_host(hosts[0])
+    injector.slow_host(hosts[1], 2.5)
+    dicts = injector.log_as_dicts()
+    assert dicts[0] == {"time": sim.now, "kind": "crash", "target": "h0"}
+    assert dicts[1] == {
+        "time": sim.now,
+        "kind": "slow_host",
+        "target": "h1",
+        "param": 2.5,
+    }
+    # param is omitted, not null, when a fault has no magnitude.
+    assert "param" not in dicts[0]
+
+
+# ----------------------------------------------------------------------
+# gray repertoire (docs/FAULTS.md)
+
+
+def test_asym_partition_is_one_way():
+    sim, lan, hosts, injector = build()
+    deaf, talker = hosts[0].nics[0], hosts[1].nics[0]
+    injector.asym_partition(lan, [hosts[0]])
+    # The deaf host's own transmissions still flow...
+    assert lan.reaches(deaf, talker)
+    # ...but nothing reaches it, so the pair audits as disconnected.
+    assert not lan.reaches(talker, deaf)
+    assert not lan.connected(deaf, talker)
+    injector.asym_heal(lan)
+    assert lan.connected(deaf, talker)
+
+
+def test_asym_partition_log_names_lan_and_deaf_hosts():
+    sim, lan, hosts, injector = build()
+    injector.asym_partition(lan, [hosts[2], hosts[0]])
+    _, kind, target = injector.log[-1]
+    assert kind == "asym_partition"
+    assert target == "lan0:h0,h2"  # deaf side sorted by host name
+
+
+def test_burst_loss_installs_and_removes_the_link_model():
+    from repro.net.linkfault import GilbertElliott
+
+    sim, lan, hosts, injector = build()
+    model = GilbertElliott(loss_bad=0.9)
+    injector.burst_loss_on(lan, model)
+    assert lan.link_model is model
+    assert injector.log[-1].param == model.describe()
+    injector.burst_loss_off(lan)
+    assert lan.link_model is None
+
+
+def test_slow_and_unslow_host():
+    sim, lan, hosts, injector = build()
+    injector.slow_host(hosts[0], 3.0)
+    assert hosts[0].time_scale == 3.0
+    injector.unslow_host(hosts[0])
+    assert hosts[0].time_scale == 1.0
+
+
+def test_skew_and_unskew_clock():
+    sim, lan, hosts, injector = build()
+    injector.skew_clock(hosts[0], -2.5)
+    assert hosts[0].local_time == sim.now - 2.5
+    injector.unskew_clock(hosts[0])
+    assert hosts[0].local_time == sim.now
+    kinds = [kind for _, kind, _ in injector.log]
+    assert kinds == ["clock_skew", "clock_unskew"]
