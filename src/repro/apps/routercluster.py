@@ -73,6 +73,7 @@ class RouterClusterScenario:
         routing_mode="static",
         spread_config=None,
         wackamole_overrides=None,
+        placement_strategy=None,
         rip_interval=30.0,
         probe_interval=0.010,
         trace_enabled=True,
@@ -113,6 +114,8 @@ class RouterClusterScenario:
         self.rip_interval = rip_interval
         overrides = dict(wackamole_overrides or {})
         overrides.setdefault("balance_enabled", False)
+        if placement_strategy is not None:
+            overrides["placement_strategy"] = placement_strategy
         if arp_share:
             # §5.2: daemons periodically exchange their ARP caches so a
             # new owner can notify exactly the hosts that resolved the

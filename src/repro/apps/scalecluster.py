@@ -1,0 +1,247 @@
+"""The scale tier: a 256–1024-host cluster on segmented membership.
+
+The Figure-3 scenarios (:mod:`repro.apps.webcluster`) run the paper's
+full stack — Spread ring, Wackamole state machine, ARP spoofing — which
+is faithful but O(N²) in broadcast fan-out and unusable past a few
+dozen hosts. This scenario swaps both layers for the scale designs:
+
+* membership comes from :mod:`repro.gcs.segments` (unicast heartbeats
+  aggregated by segment leaders, digest exchange, deterministic merge);
+* placement comes from a single shared
+  :class:`repro.core.placement.RendezvousMap` — every node derives its
+  own VIP share from the global view by pure computation, so there is
+  no allocation protocol at all: agreement on the view IS agreement on
+  the allocation (the same Lemma-2 argument as the paper's
+  deterministic Reallocate_IPs, applied to HRW).
+
+Each host runs a :class:`ScaleVipManager` that binds exactly its HRW
+share on every adopted view. The manager is deliberately lean — it
+binds interfaces and counts moves; the ARP-spoofing/notification
+machinery stays in the faithful tier where clients are modeled.
+"""
+
+from repro.core.placement import RendezvousMap
+from repro.gcs.segments import Fleet, SegmentConfig, SegmentNode
+from repro.net.fault import FaultInjector
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.process import Process
+from repro.sim.simulation import Simulation
+
+
+class ScaleVipManager(Process):
+    """Binds one host's rendezvous share of the VIP pool.
+
+    On every adopted :class:`~repro.gcs.segments.GlobalView` the manager
+    looks up its slot set in the shared placement map and diffs it
+    against the interface: new slots are bound, lost slots released. A
+    node absent from the view (declared dead while actually alive)
+    releases everything — the scale-tier analogue of the paper's rule
+    that a partitioned minority must drop its addresses.
+    """
+
+    def __init__(self, host, lan, placement):
+        super().__init__(host.sim, "svip@{}".format(host.name))
+        self.host = host
+        self.nic = host.nic_on(lan)
+        self.placement = placement
+        self.bound = set()
+        self.binds = 0
+        self.unbinds = 0
+        self.view = None
+        host.register_service(self)
+
+    def apply_view(self, view):
+        """Rebind to the HRW share implied by ``view``."""
+        if not self.alive:
+            return
+        self.view = view
+        if self.host.name in view.members:
+            owned = set(self.placement.owned_index_for(view.members).get(self.host.name, ()))
+        else:
+            owned = set()
+        for vip in sorted(self.bound - owned):
+            self.nic.unbind_ip(vip)
+            self.unbinds += 1
+        for vip in sorted(owned - self.bound):
+            self.nic.bind_ip(vip)
+            self.binds += 1
+        self.bound = owned
+
+    def reset_counters(self):
+        self.binds = 0
+        self.unbinds = 0
+
+
+class ScaleClusterScenario:
+    """Builds and drives one segmented scale-tier cluster."""
+
+    SUBNET = "10.32.0.0/16"
+
+    def __init__(
+        self,
+        seed=0,
+        n_hosts=256,
+        n_vips=2048,
+        segment_size=32,
+        segment_config=None,
+        trace_enabled=False,
+        trace_capacity=None,
+        metrics_enabled=False,
+        sim=None,
+    ):
+        if n_hosts > 4096:
+            raise ValueError("n_hosts exceeds the /16 host-address plan")
+        self.sim = sim if sim is not None else Simulation(
+            seed=seed,
+            trace_enabled=trace_enabled,
+            trace_capacity=trace_capacity,
+            metrics_enabled=metrics_enabled,
+        )
+        self.lan = Lan(self.sim, "scale", self.SUBNET)
+        self.faults = FaultInjector(self.sim)
+        self.segment_config = segment_config or SegmentConfig(segment_size=segment_size)
+
+        # Address plan: hosts fill 10.32.1.x upward, VIPs fill
+        # 10.32.128.x upward; .0 and .255 are never used.
+        entries = [
+            (self._host_name(index), self._host_ip(index)) for index in range(n_hosts)
+        ]
+        self.fleet = Fleet(entries, self.segment_config.segment_size)
+        self.vips = [self._vip_ip(index) for index in range(n_vips)]
+        self.placement = RendezvousMap(self.vips)
+
+        self.hosts = []
+        self.nodes = []
+        self.managers = []
+        for index, (name, ip) in enumerate(entries):
+            host = Host(self.sim, name)
+            host.add_nic(self.lan, ip)
+            self.hosts.append(host)
+            self._attach(index)
+
+    @staticmethod
+    def _host_name(index):
+        return "node{:04d}".format(index)
+
+    @staticmethod
+    def _host_ip(index):
+        return "10.32.{}.{}".format(1 + index // 250, 1 + index % 250)
+
+    @staticmethod
+    def _vip_ip(index):
+        return "10.32.{}.{}".format(128 + index // 250, 1 + index % 250)
+
+    def _attach(self, index):
+        """Create (or re-create after revival) a host's daemon pair."""
+        host = self.hosts[index]
+        manager = ScaleVipManager(host, self.lan, self.placement)
+        node = SegmentNode(
+            host,
+            self.lan,
+            index,
+            self.fleet,
+            self.segment_config,
+            on_global_view=manager.apply_view,
+        )
+        if index < len(self.nodes):
+            self.nodes[index] = node
+            self.managers[index] = manager
+        else:
+            self.nodes.append(node)
+            self.managers.append(manager)
+        return node, manager
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self):
+        """Boot every node (heartbeat phases are per-node jittered)."""
+        for node in self.nodes:
+            node.start()
+        return self
+
+    def settle(self, timeout=30.0, step=0.5):
+        """Run until :meth:`converged`, or until ``timeout`` elapses."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            self.sim.run_for(step)
+            if self.converged():
+                return True
+        return self.converged()
+
+    # ------------------------------------------------------------------
+    # faults
+
+    def kill(self, index):
+        """Fail-stop one host."""
+        self.faults.crash_host(self.hosts[index])
+
+    def revive(self, index):
+        """Reboot a crashed host and restart its daemons."""
+        host = self.hosts[index]
+        self.faults.recover_host(host)
+        node, _manager = self._attach(index)
+        node.start()
+
+    # ------------------------------------------------------------------
+    # inspection
+
+    def live_nodes(self):
+        return [node for node in self.nodes if node.alive]
+
+    def live_views(self):
+        """The set of distinct global views held by live nodes."""
+        return {node.global_view for node in self.nodes if node.alive}
+
+    def bindings(self):
+        """Sorted (vip, host) pairs over live managers' bound sets."""
+        pairs = []
+        for manager in self.managers:
+            if manager.alive:
+                for vip in manager.bound:
+                    pairs.append((vip, manager.host.name))
+        return sorted(pairs)
+
+    def coverage_violations(self):
+        """(uncovered vips, duplicated vips) among live managers."""
+        owners = {}
+        for vip, name in self.bindings():
+            owners.setdefault(vip, []).append(name)
+        uncovered = sorted(vip for vip in self.vips if vip not in owners)
+        duplicated = sorted(vip for vip, names in owners.items() if len(names) > 1)
+        return uncovered, duplicated
+
+    def converged(self):
+        """One shared view naming exactly the live hosts, full single-owner coverage."""
+        views = self.live_views()
+        if len(views) != 1:
+            return False
+        view = next(iter(views))
+        live = sorted(host.name for host in self.hosts if host.alive)
+        if list(view.members) != live:
+            return False
+        uncovered, duplicated = self.coverage_violations()
+        return not uncovered and not duplicated
+
+    def moved_vips(self):
+        """Total rebinds since the last :meth:`reset_move_counters`."""
+        return sum(m.binds for m in self.managers if m.alive)
+
+    def reset_move_counters(self):
+        for manager in self.managers:
+            manager.reset_counters()
+
+    def fingerprint(self):
+        """A JSON-stable digest of converged cluster state (for replay tests)."""
+        views = sorted(
+            {(v.version, v.members) for v in self.live_views()},
+        )
+        return {
+            "time": round(self.sim.now, 9),
+            "views": [
+                {"version": version, "n_members": len(members)}
+                for version, members in views
+            ],
+            "bindings": self.bindings(),
+        }

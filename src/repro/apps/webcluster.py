@@ -31,6 +31,7 @@ class WebClusterScenario:
         n_vips=10,
         spread_config=None,
         wackamole_overrides=None,
+        placement_strategy=None,
         probe_interval=0.010,
         trace_enabled=True,
         trace_capacity=None,
@@ -53,6 +54,11 @@ class WebClusterScenario:
         self.vips = ["198.51.100.{}".format(150 + i) for i in range(n_vips)]
         overrides = dict(wackamole_overrides or {})
         overrides.setdefault("notify_ips", ("198.51.100.1",))
+        if placement_strategy is not None:
+            # Rendezvous placement makes a membership change remap only
+            # the departed server's VIPs; the default stays the paper's
+            # linear levelling pass.
+            overrides["placement_strategy"] = placement_strategy
         self.wackamole_config = WackamoleConfig.for_vips(self.vips, **overrides)
 
         self.hosts = []

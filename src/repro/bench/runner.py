@@ -12,7 +12,7 @@ file (``BENCH_kernel.json``) whose schema is::
       "runs": [
         {
           "rev": "<git short rev or 'unknown'>",
-          "mode": "quick" | "full",
+          "mode": "quick" | "full" | "scale",
           "benches": {
             "<name>": {
               "median_s": 0.123456,   # median wall seconds per repeat
@@ -38,7 +38,7 @@ import time
 from repro.bench.suite import SCALES, bench_names, build_workload
 
 BENCH_FORMAT = "repro-bench/1"
-DEFAULT_REPEATS = {"quick": 3, "full": 5}
+DEFAULT_REPEATS = {"quick": 3, "full": 5, "scale": 3}
 HISTORY_LIMIT = 40
 
 
@@ -119,7 +119,7 @@ def run_bench(name, mode="quick", repeats=None):
 
 def run_suite(mode="quick", names=None, repeats=None, progress=None):
     """Run the whole suite (or ``names``); returns a :class:`BenchRun`."""
-    selected = list(names) if names else bench_names()
+    selected = list(names) if names else bench_names(mode)
     unknown = sorted(set(selected) - set(SCALES[mode]))
     if unknown:
         raise ValueError("unknown bench name(s): {}".format(unknown))

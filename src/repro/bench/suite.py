@@ -43,6 +43,17 @@ SCALES = {
         "campaign_parallel": {"trials": 8, "horizon": 40.0, "workers": 2},
         "burst_loss_failover": {"trials": 2, "horizon": 25.0},
     },
+    # The scale tier (segmented membership + rendezvous placement); run
+    # via ``repro bench --scale``, never as part of quick/full.
+    "scale": {
+        "membership_change_n256": {
+            "n_hosts": 256,
+            "n_vips": 2048,
+            "segment_size": 32,
+            "kills": 2,
+        },
+        "balance_n1024": {"members": 1024, "slots": 4096, "changes": 8},
+    },
 }
 
 
@@ -219,6 +230,72 @@ def make_burst_loss_failover(scale):
     return run, "trials"
 
 
+def make_membership_change_n256(scale):
+    """Scale-tier membership churn: boot n256, kill/revive, reconverge.
+
+    Builds and settles a 256-host / 2048-VIP segmented cluster eagerly,
+    then the timed run injects ``kills`` crash+reconverge cycles (the
+    victim survives segment 0 so a leader death is always exercised)
+    followed by revivals. Units are membership changes absorbed.
+    """
+    from repro.apps.scalecluster import ScaleClusterScenario
+
+    scenario = ScaleClusterScenario(
+        seed=42,
+        n_hosts=scale["n_hosts"],
+        n_vips=scale["n_vips"],
+        segment_size=scale["segment_size"],
+    )
+    scenario.start()
+    if not scenario.settle(timeout=30.0):
+        raise RuntimeError("scale cluster failed to boot")
+    kills = scale["kills"]
+    victims = [0, scale["n_hosts"] // 2][:kills]
+
+    def run():
+        changes = 0
+        for victim in victims:
+            scenario.kill(victim)
+            if not scenario.settle(timeout=30.0):
+                raise RuntimeError("no reconvergence after kill")
+            changes += 1
+        for victim in victims:
+            scenario.revive(victim)
+            if not scenario.settle(timeout=30.0):
+                raise RuntimeError("no reconvergence after revive")
+            changes += 1
+        return changes
+
+    return run, "changes"
+
+
+def make_balance_n1024(scale):
+    """Pure placement throughput at n1024: HRW deltas over 4096 slots.
+
+    The timed run walks ``changes`` single-host leaves and joins through
+    a shared :class:`~repro.core.placement.RendezvousMap` — the exact
+    computation every node performs per adopted view — and counts slot
+    assignments produced. The first call from each membership exercises
+    the incremental delta path; the memo is reset per repeat.
+    """
+    from repro.core.placement import RendezvousMap
+
+    members = ["node{:04d}".format(index) for index in range(scale["members"])]
+    slots = ["10.32.{}.{}".format(128 + i // 250, 1 + i % 250) for i in range(scale["slots"])]
+    changes = scale["changes"]
+
+    def run():
+        placement = RendezvousMap(slots)
+        produced = len(placement.allocation_for(members))
+        for index in range(changes):
+            without = members[: 1 + index] + members[2 + index :]
+            produced += len(placement.allocation_for(without))
+            produced += len(placement.allocation_for(members))
+        return produced
+
+    return run, "assignments"
+
+
 def _noop():
     return None
 
@@ -235,12 +312,21 @@ BENCHES = {
     "campaign_serial": make_campaign_serial,
     "campaign_parallel": make_campaign_parallel,
     "burst_loss_failover": make_burst_loss_failover,
+    "membership_change_n256": make_membership_change_n256,
+    "balance_n1024": make_balance_n1024,
 }
 
 
-def bench_names():
-    """All bench names in their canonical (sorted) order."""
-    return sorted(BENCHES)
+def bench_names(mode=None):
+    """Bench names in canonical (sorted) order.
+
+    With ``mode`` given, only the benches that mode defines — the scale
+    benches exist solely in the ``scale`` mode, so quick/full suites
+    are unaffected by their presence in :data:`BENCHES`.
+    """
+    if mode is None:
+        return sorted(BENCHES)
+    return sorted(SCALES[mode])
 
 
 def build_workload(name, mode="quick"):

@@ -136,6 +136,10 @@ def build_parser():
         help="small CI-sized workloads instead of the full suite",
     )
     bench.add_argument(
+        "--scale", action="store_true",
+        help="the 256-1024-host scale-tier benches (separate trajectory mode)",
+    )
+    bench.add_argument(
         "--output", default="BENCH_kernel.json", metavar="FILE",
         help="trajectory file to compare against and append to",
     )
@@ -306,7 +310,10 @@ def _run_bench(args, out):
         for name in bench_names():
             out(name)
         return 0
-    mode = "quick" if args.quick else "full"
+    if args.quick and args.scale:
+        out("--quick and --scale are mutually exclusive")
+        return 2
+    mode = "scale" if args.scale else ("quick" if args.quick else "full")
     names = None
     if args.benches:
         names = [name for name in args.benches.split(",") if name]

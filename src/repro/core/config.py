@@ -1,5 +1,6 @@
 """Wackamole configuration: virtual addresses and behaviour knobs."""
 
+from repro.core.placement import PLACEMENT_LINEAR, PLACEMENT_STRATEGIES
 from repro.net.addresses import IPAddress
 
 
@@ -66,6 +67,14 @@ class WackamoleConfig:
       "load-based reallocation": allocation and balancing target a
       share of the address pool proportional to the weight (travels in
       STATE messages like the preferences).
+    * ``placement_strategy`` — how holes are filled and what the
+      RUN-state balance targets: ``"linear"`` (default) is the paper's
+      least-loaded/levelling pass; ``"rendezvous"`` is HRW hashing
+      (:mod:`repro.core.placement`), whose minimal-disruption property
+      makes a membership change move only the departed member's slots
+      — the scale-tier choice. Must be set uniformly across the
+      cluster (both strategies are deterministic, but they are
+      *different* deterministic functions).
 
     Gray-failure hardening knobs (all default off / historical
     behaviour; see ``docs/FAULTS.md``):
@@ -104,6 +113,7 @@ class WackamoleConfig:
         reconnect_interval=2.0,
         representative_allocation=False,
         weight=1.0,
+        placement_strategy=PLACEMENT_LINEAR,
         arp_announce_retries=0,
         arp_announce_backoff=0.5,
         arp_reannounce_interval=0.0,
@@ -128,6 +138,13 @@ class WackamoleConfig:
         if weight <= 0:
             raise ValueError("weight must be positive, got {}".format(weight))
         self.weight = float(weight)
+        if placement_strategy not in PLACEMENT_STRATEGIES:
+            raise ValueError(
+                "placement_strategy must be one of {}, got {!r}".format(
+                    PLACEMENT_STRATEGIES, placement_strategy
+                )
+            )
+        self.placement_strategy = placement_strategy
         if int(arp_announce_retries) < 0:
             raise ValueError(
                 "arp_announce_retries must be >= 0, got {}".format(arp_announce_retries)
@@ -179,6 +196,7 @@ class WackamoleConfig:
             "reconnect_interval": self.reconnect_interval,
             "representative_allocation": self.representative_allocation,
             "weight": self.weight,
+            "placement_strategy": self.placement_strategy,
             "arp_announce_retries": self.arp_announce_retries,
             "arp_announce_backoff": self.arp_announce_backoff,
             "arp_reannounce_interval": self.arp_reannounce_interval,

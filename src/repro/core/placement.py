@@ -1,0 +1,327 @@
+"""Rendezvous (HRW) VIP placement — the scale-tier placement strategy.
+
+The paper's BALANCE pass (:mod:`repro.core.balance`) levels load by
+*moving* slots between members, which recomputes the world on every
+membership change: O(N·V) work and, worse, O(V) gratuitous ARP cycles
+when the membership merely shrinks by one. Rendezvous hashing (highest
+random weight, Thaler & Ravishankar) gives the minimal-disruption
+property instead: every slot independently belongs to the member with
+the highest deterministic ``score(slot, member)``, so
+
+* removing a member remaps exactly the slots that member owned
+  (expected V/N of them) and nothing else;
+* adding a member steals only the slots it now scores highest on
+  (again expected V/(N+1)), each moving *to* the new member.
+
+Scores are pure functions of the (slot, member) name pair — no state,
+no coordination — so every daemon computes the identical allocation
+from the same membership, exactly the deterministic-procedure
+obligation of the paper's Lemma 2.
+
+Two integration points mirror the linear strategy's entry points:
+
+* :func:`reallocate_ips_rendezvous` — hole-filling at the end of
+  GATHER (counterpart of :func:`repro.core.reallocate.reallocate_ips`);
+* :func:`compute_rendezvous_allocation` — the RUN-state target
+  allocation (counterpart of
+  :func:`repro.core.balance.compute_balanced_allocation`).
+
+Both honour explicit preferences first, like the linear code paths, so
+the two strategies are interchangeable behind
+``WackamoleConfig(placement_strategy=...)``.
+
+For large clusters :class:`RendezvousMap` maintains an allocation
+incrementally: a single join or leave costs O(V) score comparisons
+instead of the O(V·N) full recomputation.
+"""
+
+import hashlib
+import math
+
+PLACEMENT_LINEAR = "linear"
+PLACEMENT_RENDEZVOUS = "rendezvous"
+PLACEMENT_STRATEGIES = (PLACEMENT_LINEAR, PLACEMENT_RENDEZVOUS)
+
+_MASK64 = (1 << 64) - 1
+_PHI64 = 0x9E3779B97F4A7C15
+
+
+def _key64(name):
+    """Stable 64-bit digest of a name (independent of PYTHONHASHSEED)."""
+    digest = hashlib.blake2b(str(name).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _mix64(x):
+    """SplitMix64 finalizer: full-avalanche 64-bit mix."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def hrw_score(slot_key, member_key):
+    """The 64-bit rendezvous score for a (slot, member) key pair.
+
+    Keys are :func:`_key64` digests; combining digests with a cheap
+    integer mixer keeps the V·N score matrix out of ``hashlib`` — only
+    V + N real hashes are ever computed.
+    """
+    return _mix64(slot_key ^ ((member_key + _PHI64) & _MASK64))
+
+
+def _weighted_score(raw_score, weight):
+    """Weighted-rendezvous transform: ``-w / ln(u)``, u uniform in (0,1).
+
+    Monotone in the raw score, so with equal weights the weighted
+    argmax equals the unweighted one; unequal weights skew each
+    member's expected share proportionally (Wang & Ravishankar).
+    """
+    u = (raw_score + 0.5) / 18446744073709551616.0
+    return -weight / math.log(u)
+
+
+def rendezvous_owner(slot, members, weights=None):
+    """The member owning ``slot`` under HRW, or None for no members."""
+    members = list(members)
+    if not members:
+        return None
+    slot_key = _key64(slot)
+    if weights and len({weights.get(m, 1.0) for m in members}) > 1:
+        return max(
+            members,
+            key=lambda m: (_weighted_score(hrw_score(slot_key, _key64(m)), weights.get(m, 1.0)), m),
+        )
+    return max(members, key=lambda m: (hrw_score(slot_key, _key64(m)), m))
+
+
+def rendezvous_allocation(members, slots, weights=None):
+    """The full {slot: member} HRW allocation (pure function)."""
+    members = list(members)
+    if not members:
+        return {slot: None for slot in slots}
+    member_keys = [(m, _key64(m)) for m in members]
+    weighted = bool(weights) and len({weights.get(m, 1.0) for m in members}) > 1
+    allocation = {}
+    for slot in slots:
+        slot_key = _key64(slot)
+        if weighted:
+            best = max(
+                member_keys,
+                key=lambda mk: (
+                    _weighted_score(hrw_score(slot_key, mk[1]), weights.get(mk[0], 1.0)),
+                    mk[0],
+                ),
+            )
+        else:
+            best = max(member_keys, key=lambda mk: (hrw_score(slot_key, mk[1]), mk[0]))
+        allocation[slot] = best[0]
+    return allocation
+
+
+def _preference_pins(members, slots, preferences):
+    """{slot: member} for slots pinned by explicit preferences.
+
+    Same rule as the linear strategy: a slot goes to the first member
+    in membership order that prefers it.
+    """
+    pins = {}
+    if not preferences:
+        return pins
+    for slot in slots:
+        for member in members:
+            if slot in preferences.get(member, ()):
+                pins[slot] = member
+                break
+    return pins
+
+
+def compute_rendezvous_allocation(members, slots, current, preferences=None, weights=None):
+    """The RUN-state target allocation under the rendezvous strategy.
+
+    Every slot belongs to its HRW owner except slots pinned by explicit
+    preferences. ``current`` is accepted for signature compatibility
+    with :func:`repro.core.balance.compute_balanced_allocation`; the
+    target is independent of it — that independence is what makes a
+    membership change move only the departed member's slots.
+    """
+    members = list(members)
+    if not members:
+        return dict(current)
+    allocation = rendezvous_allocation(members, slots, weights)
+    for slot, member in _preference_pins(members, slots, preferences or {}).items():
+        allocation[slot] = member
+    return allocation
+
+
+def reallocate_ips_rendezvous(table, preferences=None, weights=None):
+    """Fill every hole in ``table`` with its HRW owner.
+
+    Counterpart of :func:`repro.core.reallocate.reallocate_ips`:
+    mutates ``table`` and returns {slot: member} for the new grants.
+    Preferring members win their holes first (membership order), the
+    rest go to the rendezvous owner — so after a member death exactly
+    the dead member's slots (the holes) move, each to the survivor
+    that scores highest on it.
+    """
+    preferences = preferences or {}
+    members = list(table.members)
+    assignments = {}
+    holes = list(table.holes())
+    if not holes or not members:
+        return assignments
+    pins = _preference_pins(members, holes, preferences)
+    for slot in holes:
+        chosen = pins.get(slot)
+        if chosen is None:
+            chosen = rendezvous_owner(slot, members, weights)
+        table.set_owner(slot, chosen)
+        assignments[slot] = chosen
+    return assignments
+
+
+class RendezvousMap:
+    """Incrementally maintained HRW allocation over a fixed slot set.
+
+    ``allocation_for(members)`` returns the {slot: member} allocation
+    for any membership; consecutive calls are answered from a small
+    memo, and a new membership is computed as a delta from the closest
+    cached one: a leave rescores only the departed members' slots, a
+    join compares every slot against the joiners only — O(V) instead
+    of O(V·N). The result is always identical to
+    :func:`rendezvous_allocation` (a property the test suite asserts).
+
+    The map is placement *mechanism* only — it never observes who is
+    alive; callers feed it memberships from their own view protocol.
+    """
+
+    _MEMO_LIMIT = 8
+
+    def __init__(self, slots):
+        self.slots = tuple(slots)
+        self._slot_keys = {slot: _key64(slot) for slot in self.slots}
+        self._member_keys = {}
+        # members tuple -> (allocation dict, best-score dict); insertion
+        # ordered, oldest evicted first.
+        self._memo = {}
+        # members tuple -> {member: sorted slot tuple} (same eviction).
+        self._index_memo = {}
+
+    def _member_key(self, member):
+        key = self._member_keys.get(member)
+        if key is None:
+            key = _key64(member)
+            self._member_keys[member] = key
+        return key
+
+    def allocation_for(self, members):
+        """The HRW allocation for ``members`` (unweighted), as a dict copy."""
+        canonical = tuple(sorted(members))
+        cached = self._memo.get(canonical)
+        if cached is not None:
+            return dict(cached[0])
+        allocation, best = self._compute(canonical)
+        if len(self._memo) >= self._MEMO_LIMIT:
+            oldest = next(iter(self._memo))
+            del self._memo[oldest]
+        self._memo[canonical] = (allocation, best)
+        return dict(allocation)
+
+    def owned_by(self, members, member):
+        """Sorted tuple of slots ``member`` owns under ``members``."""
+        return self.owned_index_for(members).get(member, ())
+
+    def owned_index_for(self, members):
+        """{member: sorted slot tuple} for ``members``, memoized.
+
+        Shared by every node applying the same view, so a cluster-wide
+        view change inverts the allocation once, not once per node.
+        """
+        canonical = tuple(sorted(members))
+        cached = self._index_memo.get(canonical)
+        if cached is not None:
+            return cached
+        allocation = self.allocation_for(canonical)
+        index = {}
+        for slot in self.slots:
+            owner = allocation[slot]
+            if owner is not None:
+                index.setdefault(owner, []).append(slot)
+        index = {member: tuple(sorted(slots)) for member, slots in index.items()}
+        if len(self._index_memo) >= self._MEMO_LIMIT:
+            oldest = next(iter(self._index_memo))
+            del self._index_memo[oldest]
+        self._index_memo[canonical] = index
+        return index
+
+    # ------------------------------------------------------------------
+
+    def _compute(self, canonical):
+        base = self._closest_base(canonical)
+        if base is None:
+            return self._full(canonical)
+        base_members, (base_alloc, base_best) = base
+        removed = sorted(set(base_members) - set(canonical))
+        added = sorted(set(canonical) - set(base_members))
+        # Delta cost: every slot is checked against each joiner, and
+        # slots orphaned by leavers are rescored over the survivors.
+        # A wildly different membership is cheaper to recompute whole.
+        if (len(added) + len(removed)) * 4 > len(canonical):
+            return self._full(canonical)
+        allocation = dict(base_alloc)
+        best = dict(base_best)
+        if removed:
+            gone = set(removed)
+            survivors = [(m, self._member_key(m)) for m in canonical]
+            for slot in self.slots:
+                if allocation[slot] in gone:
+                    allocation[slot], best[slot] = self._score_slot(slot, survivors)
+        for member in added:
+            member_key = self._member_key(member)
+            slot_keys = self._slot_keys
+            for slot in self.slots:
+                score = hrw_score(slot_keys[slot], member_key)
+                contender = (score, member)
+                if contender > best[slot]:
+                    best[slot] = contender
+                    allocation[slot] = member
+        return allocation, best
+
+    def _closest_base(self, canonical):
+        """The cached membership sharing the most members, or None."""
+        target = set(canonical)
+        winner = None
+        overlap = -1
+        for cached_members in self._memo:
+            shared = len(target.intersection(cached_members))
+            if shared > overlap:
+                overlap = shared
+                winner = cached_members
+        if winner is None:
+            return None
+        return winner, self._memo[winner]
+
+    def _full(self, canonical):
+        member_keys = [(m, self._member_key(m)) for m in canonical]
+        allocation = {}
+        best = {}
+        for slot in self.slots:
+            allocation[slot], best[slot] = self._score_slot(slot, member_keys)
+        return allocation, best
+
+    def _score_slot(self, slot, member_keys):
+        """(owner, (score, owner)) for one slot over scored members."""
+        if not member_keys:
+            return None, (-1, "")
+        slot_key = self._slot_keys[slot]
+        best_score = -1
+        best_member = None
+        for member, member_key in member_keys:
+            score = hrw_score(slot_key, member_key)
+            if score > best_score or (score == best_score and member > best_member):
+                best_score = score
+                best_member = member
+        return best_member, (best_score, best_member)

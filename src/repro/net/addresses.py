@@ -67,7 +67,11 @@ class IPAddress:
         return self._value <= IPAddress(other)._value
 
     def __hash__(self):
-        return hash(("IPAddress", self._value))
+        # No tuple wrapper: addresses key the ARP cache and every bound-IP
+        # set on the frame path, so a per-hash tuple allocation is measurable
+        # at cluster scale. Offsetting by a constant keeps IPAddress keys from
+        # colliding bucket-for-bucket with the raw integers of the same value.
+        return hash(self._value ^ 0x49500000)
 
     def __str__(self):
         v = self._value
@@ -131,7 +135,7 @@ class MACAddress:
         return self._value < MACAddress(other)._value
 
     def __hash__(self):
-        return hash(("MACAddress", self._value))
+        return hash(self._value ^ 0x4D410000)
 
     def __str__(self):
         octets = [(self._value >> shift) & 255 for shift in (40, 32, 24, 16, 8, 0)]

@@ -53,8 +53,16 @@ class ArpCache:
 
     def store(self, ip, mac):
         """Create or refresh the entry for ``ip``."""
-        ip = IPAddress(ip)
-        self._entries[ip] = ArpEntry(mac, self._clock())
+        if type(ip) is not IPAddress:
+            ip = IPAddress(ip)
+        entry = self._entries.get(ip)
+        if entry is None:
+            self._entries[ip] = ArpEntry(mac, self._clock())
+        else:
+            # Refresh in place: every received ARP packet lands here on
+            # every host, and the entry objects need not be reallocated.
+            entry.mac = mac
+            entry.updated_at = self._clock()
         self.updates += 1
 
     def drop(self, ip):
@@ -192,6 +200,8 @@ class ArpService:
         self.replies_sent += 1
 
     def _flush_pending(self, ip):
+        if not self._pending:
+            return
         queue = self._pending.pop(IPAddress(ip), None)
         if not queue:
             return

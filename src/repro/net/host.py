@@ -69,8 +69,15 @@ class Host(Process):
 
     def owns_ip(self, address):
         """True when ``address`` is bound to one of this host's up NICs."""
-        address = IPAddress(address)
-        return any(nic.up and nic.owns_ip(address) for nic in self._nics)
+        if type(address) is not IPAddress:
+            address = IPAddress(address)
+        # Flat loop over the NICs' bound sets: this sits on the per-frame
+        # ARP path (every broadcast request lands here on every host), so
+        # the generator-expression form costs real time at cluster scale.
+        for nic in self._nics:
+            if nic.up and address in nic._bound:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # gray degradation: slowdown and clock skew (see docs/FAULTS.md)

@@ -1,0 +1,147 @@
+"""The scale tier end to end: boot, faults, remap bounds, determinism.
+
+Fast tests drive a 48-host cluster through kills and revivals and check
+the managers' book-keeping against the actual NIC bindings. The
+``scale``-marked tests are ISSUE 6's acceptance criteria at full size:
+a 256-host / 2048-VIP cluster must reconverge after any single host
+kill with at most ``ceil(V/N) + SLACK`` VIPs remapped (a hypothesis
+property over the victim), and the whole run must be deterministic —
+two identically-seeded clusters produce byte-identical fingerprints.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.scalecluster import ScaleClusterScenario
+
+N_HOSTS = 256
+N_VIPS = 2048
+# HRW remaps exactly the dead host's slots: Binomial(V, 1/N) many,
+# mean V/N = 8. The slack covers the max of N such draws:
+# 3.5 * sqrt(V/N) ≈ 10 keeps the bound comfortably above the measured
+# worst bucket (16 at this configuration) while still O(V/N)-tight.
+REMAP_BOUND = math.ceil(N_VIPS / N_HOSTS) + math.ceil(3.5 * math.sqrt(N_VIPS / N_HOSTS))
+
+
+def build_small(seed=11, n_hosts=48, n_vips=384, segment_size=16):
+    scenario = ScaleClusterScenario(
+        seed=seed, n_hosts=n_hosts, n_vips=n_vips, segment_size=segment_size
+    )
+    scenario.start()
+    assert scenario.settle(timeout=20.0), "scale cluster failed to boot"
+    return scenario
+
+
+def test_boot_converges_with_full_single_owner_coverage():
+    scenario = build_small()
+    uncovered, duplicated = scenario.coverage_violations()
+    assert not uncovered and not duplicated
+    # Managers' book-keeping matches the actual interface state.
+    for manager in scenario.managers:
+        assert manager.bound == {str(ip) for ip in manager.nic.virtual_ips}
+
+
+def test_kill_reconverges_and_moves_only_the_victims_vips():
+    scenario = build_small()
+    victim = 17
+    owned_before = set(scenario.managers[victim].bound)
+    assert owned_before
+    scenario.reset_move_counters()
+    scenario.kill(victim)
+    assert scenario.settle(timeout=20.0)
+    moved = {
+        vip
+        for manager in scenario.managers
+        if manager.alive
+        for vip in manager.bound
+        if vip in owned_before
+    }
+    assert moved == owned_before
+    assert scenario.moved_vips() == len(owned_before)
+
+
+def test_crashed_host_keeps_stale_bindings_until_revival():
+    scenario = build_small()
+    victim = 5
+    nic = scenario.managers[victim].nic
+    assert scenario.managers[victim].bound
+    scenario.kill(victim)
+    assert scenario.settle(timeout=20.0)
+    # Fail-stop semantics: the dead NIC still holds its addresses...
+    assert nic.virtual_ips
+    scenario.revive(victim)
+    assert scenario.settle(timeout=20.0)
+    # ...and a reboot resets them before the manager rebinds its share.
+    manager = scenario.managers[victim]
+    assert manager.bound == {str(ip) for ip in manager.nic.virtual_ips}
+
+
+def test_leader_kill_and_revive_reconverges():
+    scenario = build_small()
+    scenario.kill(0)  # initial leader of segment 0
+    assert scenario.settle(timeout=20.0)
+    scenario.revive(0)
+    assert scenario.settle(timeout=20.0)
+    uncovered, duplicated = scenario.coverage_violations()
+    assert not uncovered and not duplicated
+
+
+# ----------------------------------------------------------------------
+# acceptance tier: 256 hosts / 2048 VIPs (CI scale job)
+
+_shared = {}
+
+
+def shared_n256():
+    if "scenario" not in _shared:
+        scenario = ScaleClusterScenario(
+            seed=20260808, n_hosts=N_HOSTS, n_vips=N_VIPS, segment_size=32
+        )
+        scenario.start()
+        assert scenario.settle(timeout=30.0), "n256 cluster failed to boot"
+        _shared["scenario"] = scenario
+    return _shared["scenario"]
+
+
+@pytest.mark.scale
+@given(victim=st.integers(0, N_HOSTS - 1))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_single_kill_remaps_at_most_v_over_n_plus_slack(victim):
+    scenario = shared_n256()
+    owned_before = set(scenario.managers[victim].bound)
+    scenario.reset_move_counters()
+    scenario.kill(victim)
+    assert scenario.settle(timeout=30.0), "no reconvergence after kill"
+    moved = scenario.moved_vips()
+    assert moved == len(owned_before)
+    assert moved <= REMAP_BOUND, "remapped {} > bound {}".format(moved, REMAP_BOUND)
+    scenario.revive(victim)
+    assert scenario.settle(timeout=30.0), "no reconvergence after revive"
+    uncovered, duplicated = scenario.coverage_violations()
+    assert not uncovered and not duplicated
+
+
+@pytest.mark.scale
+def test_n256_cluster_is_deterministic():
+    def run_once():
+        scenario = ScaleClusterScenario(
+            seed=424242, n_hosts=N_HOSTS, n_vips=N_VIPS, segment_size=32
+        )
+        scenario.start()
+        assert scenario.settle(timeout=30.0)
+        scenario.kill(100)
+        scenario.kill(0)
+        assert scenario.settle(timeout=30.0)
+        scenario.revive(100)
+        assert scenario.settle(timeout=30.0)
+        return json.dumps(scenario.fingerprint(), sort_keys=True)
+
+    assert run_once() == run_once()

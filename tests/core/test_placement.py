@@ -1,0 +1,154 @@
+"""Property tests for rendezvous (HRW) VIP placement.
+
+The properties ISSUE 6 demands of the scale-tier strategy:
+
+* determinism — the allocation is a pure function of the (unordered)
+  membership and slot set;
+* full coverage and single ownership — the shared invariants in
+  ``tests/helpers.py``, identical to the linear strategy's contract;
+* minimal disruption — a leave remaps exactly the leaver's slots and
+  a join moves slots only *to* the joiner (≤ O(V/N) expected moves);
+* the incremental :class:`RendezvousMap` always agrees with the
+  direct :func:`rendezvous_allocation` computation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import assert_allocation_ok
+
+from repro.core.placement import (
+    RendezvousMap,
+    compute_rendezvous_allocation,
+    reallocate_ips_rendezvous,
+    rendezvous_allocation,
+    rendezvous_owner,
+)
+from repro.core.table import AllocationTable
+
+names = st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12)
+member_lists = st.lists(names, min_size=1, max_size=24, unique=True)
+slot_lists = st.lists(names.map("vip-{}".format), min_size=1, max_size=64, unique=True)
+
+
+@given(members=member_lists, slots=slot_lists)
+def test_allocation_is_deterministic_and_order_independent(members, slots):
+    base = rendezvous_allocation(members, slots)
+    again = rendezvous_allocation(members, slots)
+    reversed_members = rendezvous_allocation(list(reversed(members)), slots)
+    assert base == again == reversed_members
+
+
+@given(members=member_lists, slots=slot_lists)
+def test_allocation_covers_every_slot_once(members, slots):
+    allocation = rendezvous_allocation(members, slots)
+    assert_allocation_ok(allocation, members, slots)
+
+
+@given(members=member_lists, slots=slot_lists, data=st.data())
+def test_leave_moves_only_the_leavers_slots(members, slots, data):
+    allocation = rendezvous_allocation(members, slots)
+    leaver = data.draw(st.sampled_from(members))
+    survivors = [m for m in members if m != leaver]
+    if not survivors:
+        return
+    after = rendezvous_allocation(survivors, slots)
+    owned_by_leaver = {s for s, m in allocation.items() if m == leaver}
+    moved = {s for s in slots if allocation[s] != after[s]}
+    assert moved == owned_by_leaver
+    for slot in moved:
+        assert after[slot] in survivors
+
+
+@given(members=member_lists, slots=slot_lists, joiner=names)
+def test_join_moves_slots_only_to_the_joiner(members, slots, joiner):
+    if joiner in members:
+        return
+    before = rendezvous_allocation(members, slots)
+    after = rendezvous_allocation(members + [joiner], slots)
+    moved = {s for s in slots if before[s] != after[s]}
+    assert all(after[s] == joiner for s in moved)
+
+
+@given(members=member_lists, slots=slot_lists)
+def test_owner_matches_allocation(members, slots):
+    allocation = rendezvous_allocation(members, slots)
+    for slot in slots:
+        assert rendezvous_owner(slot, members) == allocation[slot]
+
+
+@given(
+    slots=slot_lists,
+    memberships=st.lists(member_lists, min_size=1, max_size=6),
+)
+@settings(max_examples=50)
+def test_rendezvous_map_agrees_with_direct_computation(slots, memberships):
+    # Walking a sequence of memberships through one map exercises the
+    # incremental join/leave delta paths against cached bases.
+    placement = RendezvousMap(slots)
+    for members in memberships:
+        assert placement.allocation_for(members) == rendezvous_allocation(members, slots)
+
+
+@given(members=member_lists, slots=slot_lists)
+def test_rendezvous_map_owned_index_partitions_the_slots(members, slots):
+    placement = RendezvousMap(slots)
+    index = placement.owned_index_for(members)
+    rebuilt = {}
+    for member, owned in index.items():
+        assert member in members
+        for slot in owned:
+            assert slot not in rebuilt
+            rebuilt[slot] = member
+    assert rebuilt == placement.allocation_for(members)
+    assert placement.owned_by(members, members[0]) == index.get(members[0], ())
+
+
+@given(members=member_lists, slots=slot_lists, data=st.data())
+def test_reallocate_fills_exactly_the_holes(members, slots, data):
+    table = AllocationTable(slots, members)
+    pre_owned = {}
+    for slot in slots:
+        if data.draw(st.booleans(), label="preassign {}".format(slot)):
+            owner = data.draw(st.sampled_from(members), label="owner {}".format(slot))
+            table.set_owner(slot, owner)
+            pre_owned[slot] = owner
+    grants = reallocate_ips_rendezvous(table)
+    assert set(grants) == set(slots) - set(pre_owned)
+    current = table.as_dict()
+    for slot, owner in pre_owned.items():
+        assert current[slot] == owner  # existing ownership is never disturbed
+    assert_allocation_ok(current, members, slots)
+    for slot, owner in grants.items():
+        assert owner == rendezvous_owner(slot, members)
+
+
+@given(members=member_lists, slots=slot_lists, data=st.data())
+def test_preferences_pin_slots(members, slots, data):
+    preferring = data.draw(st.sampled_from(members))
+    pinned = data.draw(st.sampled_from(slots))
+    preferences = {preferring: (pinned,)}
+    allocation = compute_rendezvous_allocation(members, slots, {}, preferences)
+    assert allocation[pinned] == preferring
+    assert_allocation_ok(allocation, members, slots)
+
+
+@given(members=member_lists, slots=slot_lists)
+def test_equal_weights_match_unweighted(members, slots):
+    weights = {m: 2.5 for m in members}
+    assert rendezvous_allocation(members, slots, weights) == rendezvous_allocation(
+        members, slots
+    )
+
+
+def test_weighted_share_skews_toward_heavy_member():
+    members = ["heavy", "light-a", "light-b", "light-c"]
+    slots = ["vip-{}".format(i) for i in range(400)]
+    weights = {"heavy": 3.0, "light-a": 1.0, "light-b": 1.0, "light-c": 1.0}
+    allocation = rendezvous_allocation(members, slots, weights)
+    counts = {m: 0 for m in members}
+    for owner in allocation.values():
+        counts[owner] += 1
+    # heavy carries weight 3 of 6 : half the pool in expectation.
+    assert counts["heavy"] > len(slots) // 3
+    assert_allocation_ok(allocation, members, slots)

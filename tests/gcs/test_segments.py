@@ -1,0 +1,188 @@
+"""Segmented membership: merge properties and protocol behaviour.
+
+Property layer — :func:`merge_digests` is the deterministic heart of
+the design: agreement (same digests, same view, regardless of how the
+dict was assembled), monotonic view versions under epoch bumps, and no
+phantom members. Protocol layer — small SegmentNode clusters exercise
+boot convergence, member death, leader succession, epoch handoff on a
+revived leader, and whole-segment silence.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gcs.segments import (
+    Fleet,
+    GlobalView,
+    SegmentConfig,
+    SegmentNode,
+    merge_digests,
+)
+from repro.net.host import Host
+from repro.net.lan import Lan
+from repro.sim.simulation import Simulation
+
+names = st.text(alphabet="abcdefgh01234", min_size=1, max_size=8)
+
+digest_maps = st.dictionaries(
+    keys=st.integers(0, 15),
+    values=st.tuples(
+        st.integers(0, 50),
+        st.lists(names, max_size=8, unique=True).map(tuple),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(digests=digest_maps, order_seed=st.randoms(use_true_random=False))
+def test_merge_agreement_is_insertion_order_independent(digests, order_seed):
+    items = list(digests.items())
+    order_seed.shuffle(items)
+    shuffled = dict(items)
+    assert merge_digests(digests) == merge_digests(shuffled)
+
+
+@given(digests=digest_maps, data=st.data())
+def test_merge_version_is_monotonic_under_epoch_bumps(digests, data):
+    before = merge_digests(digests)
+    segment = data.draw(st.sampled_from(sorted(digests)))
+    epoch, alive = digests[segment]
+    bumped = dict(digests)
+    bumped[segment] = (epoch + data.draw(st.integers(1, 5)), alive)
+    after = merge_digests(bumped)
+    assert after.version > before.version
+
+
+@given(digests=digest_maps)
+def test_merge_has_no_phantom_members(digests):
+    view = merge_digests(digests)
+    union = set()
+    for _epoch, alive in digests.values():
+        union.update(alive)
+    assert set(view.members) == union
+    assert list(view.members) == sorted(view.members)
+
+
+def test_global_view_equality_and_hash():
+    a = GlobalView(3, ("a", "b"))
+    b = GlobalView(3, ["a", "b"])
+    c = GlobalView(4, ("a", "b"))
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+
+
+def test_fleet_segmentation():
+    entries = [("n{}".format(i), "10.9.0.{}".format(1 + i)) for i in range(10)]
+    fleet = Fleet(entries, segment_size=4)
+    assert fleet.n_segments == 3
+    assert fleet.segment_members(0) == ("n0", "n1", "n2", "n3")
+    assert fleet.segment_members(2) == ("n8", "n9")
+    assert fleet.initial_leader(1) == "n4"
+    assert fleet.segment_of("n7") == 1
+
+
+# ----------------------------------------------------------------------
+# protocol behaviour on a live simulation
+
+
+def build_segment_cluster(n, segment_size, seed=7):
+    sim = Simulation(seed=seed, trace_enabled=False, metrics_enabled=False)
+    lan = Lan(sim, "seg", "10.40.0.0/16")
+    entries = [("n{:03d}".format(i), "10.40.1.{}".format(1 + i)) for i in range(n)]
+    fleet = Fleet(entries, segment_size)
+    config = SegmentConfig(segment_size=segment_size)
+    hosts, nodes = [], []
+    for index, (name, ip) in enumerate(entries):
+        host = Host(sim, name)
+        host.add_nic(lan, ip)
+        nodes.append(SegmentNode(host, lan, index, fleet, config))
+        hosts.append(host)
+    for node in nodes:
+        node.start()
+    return sim, lan, fleet, config, hosts, nodes
+
+
+def live_views(nodes):
+    return {node.global_view for node in nodes if node.alive}
+
+
+def test_boot_converges_to_one_full_view():
+    sim, _lan, _fleet, _config, _hosts, nodes = build_segment_cluster(12, 4)
+    sim.run_for(5.0)
+    views = live_views(nodes)
+    assert len(views) == 1
+    assert len(next(iter(views)).members) == 12
+
+
+def test_member_death_propagates_to_every_node():
+    sim, _lan, _fleet, _config, hosts, nodes = build_segment_cluster(12, 4)
+    sim.run_for(5.0)
+    hosts[5].crash()
+    sim.run_for(8.0)
+    views = live_views(nodes)
+    assert len(views) == 1
+    members = next(iter(views)).members
+    assert "n005" not in members and len(members) == 11
+
+
+def test_leader_death_elects_deterministic_successor():
+    sim, _lan, _fleet, _config, hosts, nodes = build_segment_cluster(12, 4)
+    sim.run_for(5.0)
+    hosts[0].crash()  # initial leader of segment 0
+    sim.run_for(8.0)
+    views = live_views(nodes)
+    assert len(views) == 1
+    assert "n000" not in next(iter(views)).members
+    leaders = sorted(n.node_name for n in nodes if n.alive and n.is_leader)
+    assert leaders == ["n001", "n004", "n008"]
+
+
+def test_revived_leader_fast_forwards_epoch():
+    sim, lan, fleet, config, hosts, nodes = build_segment_cluster(12, 4)
+    sim.run_for(5.0)
+    hosts[0].crash()
+    sim.run_for(8.0)
+    hosts[0].recover()
+    nodes[0] = SegmentNode(hosts[0], lan, 0, fleet, config)
+    nodes[0].start()
+    sim.run_for(8.0)
+    views = live_views(nodes)
+    assert len(views) == 1
+    assert len(next(iter(views)).members) == 12
+    # The original leader resumed duty and deaths still propagate.
+    assert nodes[0].is_leader
+    hosts[2].crash()
+    sim.run_for(8.0)
+    views = live_views(nodes)
+    assert len(views) == 1 and "n002" not in next(iter(views)).members
+
+
+def test_whole_segment_death_and_revival():
+    sim, lan, fleet, config, hosts, nodes = build_segment_cluster(12, 4)
+    sim.run_for(5.0)
+    for index in (8, 9, 10, 11):
+        hosts[index].crash()
+    sim.run_for(10.0)
+    views = live_views(nodes)
+    assert len(views) == 1
+    assert len(next(iter(views)).members) == 8
+    for index in (8, 9, 10, 11):
+        hosts[index].recover()
+        nodes[index] = SegmentNode(hosts[index], lan, index, fleet, config)
+        nodes[index].start()
+    sim.run_for(10.0)
+    views = live_views(nodes)
+    assert len(views) == 1
+    assert len(next(iter(views)).members) == 12
+
+
+def test_segment_config_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        SegmentConfig(segment_size=0)
+    with pytest.raises(ValueError):
+        SegmentConfig(heartbeat_interval=1.0, member_timeout=0.5)
+    with pytest.raises(ValueError):
+        SegmentConfig(beacon_interval=1.0, leader_timeout=0.5)

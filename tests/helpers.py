@@ -96,6 +96,38 @@ def build_wack_cluster(
     )
 
 
+def allocation_violations(allocation, members, slots):
+    """Shared placement invariants for any {slot: member} allocation.
+
+    Both placement strategies — the paper's linear BALANCE/reallocate
+    pass and the scale tier's rendezvous hashing — must satisfy the
+    same contract; every violation is returned as a readable string so
+    property tests can assert ``not allocation_violations(...)``.
+    """
+    violations = []
+    members = list(members)
+    slots = list(slots)
+    for slot in slots:
+        if slot not in allocation:
+            violations.append("slot {!r} missing from allocation".format(slot))
+        elif members and allocation[slot] is None:
+            violations.append("slot {!r} uncovered".format(slot))
+        elif allocation[slot] is not None and allocation[slot] not in members:
+            violations.append(
+                "slot {!r} owned by non-member {!r}".format(slot, allocation[slot])
+            )
+    extra = set(allocation) - set(slots)
+    for slot in sorted(extra):
+        violations.append("allocation names unknown slot {!r}".format(slot))
+    return violations
+
+
+def assert_allocation_ok(allocation, members, slots):
+    """Assert the shared full-coverage + single-owner-domain invariants."""
+    violations = allocation_violations(allocation, members, slots)
+    assert not violations, "; ".join(violations)
+
+
 def settle_wack(cluster, timeout=20.0):
     """Run until every live daemon is RUN, mature, and coverage is clean."""
     deadline = cluster.sim.now + timeout
