@@ -11,9 +11,16 @@ baseline file so pre-existing findings never block CI.
 """
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.engine import LintConfig, Linter, LintResult, ProtocolSpec
+from repro.analysis.engine import (
+    LintConfig,
+    Linter,
+    LintResult,
+    ProtocolSpec,
+    load_project,
+)
 from repro.analysis.findings import Finding
 from repro.analysis.registry import all_rules, get_rule
+from repro.analysis.statemachine import render_state_machines
 
 __all__ = [
     "Baseline",
@@ -24,4 +31,6 @@ __all__ = [
     "ProtocolSpec",
     "all_rules",
     "get_rule",
+    "load_project",
+    "render_state_machines",
 ]

@@ -10,8 +10,11 @@ import ast
 import os
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.callgraph import CallGraph, SymbolTable
+from repro.analysis.dataflow import ProjectDataflow
 from repro.analysis.findings import Finding, assign_fingerprints
 from repro.analysis.registry import all_rules
+from repro.analysis.statemachine import DEFAULT_STATE_MACHINES, extract_machines
 from repro.analysis.suppress import is_suppressed, parse_suppressions
 
 
@@ -63,11 +66,36 @@ DEFAULT_SIM_RESTRICTED = (
 DEFAULT_WALLCLOCK_EXEMPT = ("repro/sim/scheduler.py", "repro/bench/runner.py")
 DEFAULT_RANDOM_EXEMPT = ("repro/sim/rng.py",)
 
+# Where SHARD001 forbids cross-context shared mutable state: the sim
+# substrate plus the campaign runner (whose worker pool is exactly the
+# multi-core template ROADMAP item 5 generalizes).
+DEFAULT_SHARD_SCOPE = DEFAULT_SIM_RESTRICTED + ("repro/check",)
+
+# Attribute names PROTO003 treats as protocol-owned: only the owning
+# object's declared transition code may write them.
+DEFAULT_PROTECTED_FIELDS = (
+    "delivered_aru",
+    "epoch",
+    "highest_counter",
+    "recv_aru",
+    "state",
+    "view",
+    "view_id",
+)
+
 
 class LintConfig:
     """Per-run knobs; defaults encode this repository's layout."""
 
-    __slots__ = ("protocols", "sim_restricted", "wallclock_exempt", "random_exempt")
+    __slots__ = (
+        "protocols",
+        "sim_restricted",
+        "wallclock_exempt",
+        "random_exempt",
+        "shard_scope",
+        "protected_fields",
+        "state_machines",
+    )
 
     def __init__(
         self,
@@ -75,11 +103,25 @@ class LintConfig:
         sim_restricted=DEFAULT_SIM_RESTRICTED,
         wallclock_exempt=DEFAULT_WALLCLOCK_EXEMPT,
         random_exempt=DEFAULT_RANDOM_EXEMPT,
+        shard_scope=None,
+        protected_fields=DEFAULT_PROTECTED_FIELDS,
+        state_machines=DEFAULT_STATE_MACHINES,
     ):
         self.protocols = tuple(protocols)
         self.sim_restricted = tuple(sim_restricted)
         self.wallclock_exempt = tuple(wallclock_exempt)
         self.random_exempt = tuple(random_exempt)
+        # shard scope defaults to tracking whatever sim_restricted says,
+        # so fixture configs that point sim_restricted at a tmp tree get
+        # SHARD001 there too without repeating themselves.
+        if shard_scope is None:
+            if tuple(sim_restricted) == DEFAULT_SIM_RESTRICTED:
+                shard_scope = DEFAULT_SHARD_SCOPE
+            else:
+                shard_scope = tuple(sim_restricted)
+        self.shard_scope = tuple(shard_scope)
+        self.protected_fields = tuple(protected_fields)
+        self.state_machines = tuple(state_machines)
 
 
 def path_matches(path, suffix):
@@ -125,12 +167,23 @@ class ModuleContext:
 
 
 class ProjectContext:
-    """All modules of one run, for cross-file rules."""
+    """All modules of one run, for cross-file rules.
 
-    __slots__ = ("modules",)
+    The flow analyses (symbol table, call graph, dataflow summaries,
+    state-machine extraction) are built lazily on first use and shared
+    by every rule in the run — each is a pure function of the parsed
+    module set, so caching cannot leak state between runs.
+    """
 
-    def __init__(self, modules):
+    __slots__ = ("modules", "config", "_symbols", "_callgraph", "_dataflow", "_machines")
+
+    def __init__(self, modules, config=None):
         self.modules = list(modules)
+        self.config = config or LintConfig()
+        self._symbols = None
+        self._callgraph = None
+        self._dataflow = None
+        self._machines = None
 
     def find(self, suffix):
         """The first module whose path matches ``suffix``, or None."""
@@ -138,6 +191,30 @@ class ProjectContext:
             if path_matches(module.path, suffix):
                 return module
         return None
+
+    def symbols(self):
+        """The project-wide :class:`~repro.analysis.callgraph.SymbolTable`."""
+        if self._symbols is None:
+            self._symbols = SymbolTable(self.modules)
+        return self._symbols
+
+    def callgraph(self):
+        """The project-wide :class:`~repro.analysis.callgraph.CallGraph`."""
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.symbols())
+        return self._callgraph
+
+    def dataflow(self):
+        """Per-function mutation/escape summaries with escape closure."""
+        if self._dataflow is None:
+            self._dataflow = ProjectDataflow(self.symbols(), self.callgraph())
+        return self._dataflow
+
+    def machines(self):
+        """The extracted protocol state machines of this run."""
+        if self._machines is None:
+            self._machines = extract_machines(self, self.config)
+        return self._machines
 
 
 class LintResult:
@@ -195,6 +272,27 @@ def collect_files(paths):
     return [p.replace(os.sep, "/") for p in sorted(set(normalized))]
 
 
+def load_project(paths, config=None):
+    """Parse ``paths`` into a :class:`ProjectContext` without linting.
+
+    Unparseable files are silently skipped — callers that need the
+    syntax errors reported run the full :class:`Linter` instead. This
+    is the entry point for artifact generation (``repro lint
+    --state-machines``) where only the parsed tree matters.
+    """
+    config = config or LintConfig()
+    modules = []
+    for path in collect_files(paths):
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        modules.append(ModuleContext(path, source, tree))
+    return ProjectContext(modules, config)
+
+
 class Linter:
     """Run every registered rule over a set of files."""
 
@@ -227,7 +325,7 @@ class Linter:
             modules.append(ModuleContext(path, source, tree))
 
         raw = []
-        project = ProjectContext(modules)
+        project = ProjectContext(modules, self.config)
         for rule in self.rules:
             for module in modules:
                 raw.extend(rule.check_module(module, self.config))

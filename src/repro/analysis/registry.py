@@ -12,11 +12,19 @@ _RULES = {}
 
 
 class Rule:
-    """Base class; subclasses override one of the check hooks."""
+    """Base class; subclasses override one of the check hooks.
+
+    ``rationale`` and the ``example_bad``/``example_good`` pair feed
+    ``repro lint --explain CODE``; keep the examples minimal (a few
+    lines each) and make the good one the smallest fix of the bad one.
+    """
 
     code = ""
     name = ""
     description = ""
+    rationale = ""
+    example_bad = ""
+    example_good = ""
 
     def check_module(self, module, config):
         return iter(())

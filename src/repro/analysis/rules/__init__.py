@@ -5,6 +5,11 @@ from repro.analysis.rules import (  # noqa: F401
     det002_random,
     det003_unordered,
     det004_idhash,
+    det005_rngflow,
+    det006_mutables,
     proto001_dispatch,
+    proto002_completeness,
+    proto003_transitions,
+    shard001_sharedstate,
     sim001_substrate,
 )

@@ -23,6 +23,22 @@ class WallClockRule(Rule):
         "real-clock read (time.time / time.monotonic / datetime.now ...) "
         "outside the simulation scheduler"
     )
+    rationale = (
+        "Replay verdicts must be pure functions of (seed, schedule). A "
+        "real-clock read makes timeouts and traces depend on host speed "
+        "and load, so the same failure artifact can pass on one machine "
+        "and fail on another. Simulated components take time from "
+        "sim.now; only the scheduler (and explicitly allowed reporting "
+        "lines that never feed a verdict) may touch the real clock."
+    )
+    example_bad = (
+        "def on_heartbeat(self, msg):\n"
+        "    self.last_seen = time.time()   # host wall clock\n"
+    )
+    example_good = (
+        "def on_heartbeat(self, msg):\n"
+        "    self.last_seen = self.sim.now   # virtual time\n"
+    )
 
     def check_module(self, module, config):
         for exempt in config.wallclock_exempt:

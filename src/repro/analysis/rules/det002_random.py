@@ -20,6 +20,23 @@ class UnseededRandomRule(Rule):
         "use of the global `random` module outside repro.sim.rng; draw from "
         "a named RngRegistry stream instead"
     )
+    rationale = (
+        "The global `random` module is one Mersenne state per process, "
+        "seeded from the OS. Any draw through it couples unrelated "
+        "components, differs between workers, and cannot be replayed "
+        "from a failure artifact. Every draw must come from a named "
+        "RngRegistry stream so it is a pure function of (seed, name)."
+    )
+    example_bad = (
+        "import random\n"
+        "\n"
+        "def jitter(self):\n"
+        "    return random.uniform(0.0, 0.1)\n"
+    )
+    example_good = (
+        "def jitter(self):\n"
+        "    return self.rng(\"jitter\").uniform(0.0, 0.1)\n"
+    )
 
     def check_module(self, module, config):
         for exempt in config.random_exempt:

@@ -68,6 +68,21 @@ class UnorderedIterationRule(Rule):
         "(nondeterministic or arrival-dependent) order escapes; wrap the "
         "iterable in sorted(...)"
     )
+    rationale = (
+        "Set iteration order depends on the interpreter's hash seed and "
+        "insertion history; dict order depends on arrival order. When "
+        "such an order escapes — into a message, a trace line, an event "
+        "queue — two runs of the same seed can diverge. Sorting before "
+        "iterating pins the order to the element values themselves."
+    )
+    example_bad = (
+        "for host in self.suspects:        # set order escapes\n"
+        "    self.send_udp(host, Probe())\n"
+    )
+    example_good = (
+        "for host in sorted(self.suspects):\n"
+        "    self.send_udp(host, Probe())\n"
+    )
 
     def check_module(self, module, config):
         parents = {}

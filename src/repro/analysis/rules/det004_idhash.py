@@ -24,6 +24,20 @@ class IdHashOrderingRule(Rule):
         "id()/hash() used as (or inside) a sort key or an ordering "
         "comparison; use a stable attribute instead"
     )
+    rationale = (
+        "id() is a memory address and hash() of a str is salted by the "
+        "per-process hash seed — neither survives a process boundary. A "
+        "sort or tie-break keyed on them gives a different order in the "
+        "replay process than in the original run, so the failure no "
+        "longer reproduces. Key on a stable attribute (name, address, "
+        "sequence number) instead."
+    )
+    example_bad = (
+        "winner = min(candidates, key=id)   # memory-address tie-break\n"
+    )
+    example_good = (
+        "winner = min(candidates, key=lambda host: host.name)\n"
+    )
 
     def check_module(self, module, config):
         for node in ast.walk(module.tree):

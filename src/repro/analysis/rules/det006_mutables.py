@@ -1,0 +1,92 @@
+"""DET006 — mutable defaults and class-level mutable containers.
+
+Both are the same trap at different scopes: a container evaluated
+once (at ``def`` time or ``class`` time) and then shared by every
+call or every instance. Inside the simulated substrate that sharing
+is state leaking *between simulations in one process* — two
+back-to-back ``Simulation`` runs see each other's leftovers, which
+breaks the replay guarantee and, under ROADMAP item 5, diverges
+between shard workers (each process gets a fresh copy).
+"""
+
+import ast
+
+from repro.analysis.dataflow import is_mutable_container
+from repro.analysis.engine import path_in_dir, path_matches
+from repro.analysis.registry import Rule, register
+
+
+@register
+class MutableSharedContainerRule(Rule):
+    code = "DET006"
+    name = "mutable-shared-container"
+    description = (
+        "mutable default argument or class-level mutable container on a "
+        "sim-substrate class; evaluated once and shared by every "
+        "call/instance"
+    )
+    rationale = (
+        "A default argument is evaluated at def time and a class "
+        "attribute at class time; both outlive any single Simulation. "
+        "State accumulated in one run leaks into the next, so replay "
+        "from (seed, schedule) is no longer pure, and under the "
+        "sharded kernel each worker process silently gets its own "
+        "divergent copy. Bind fresh containers in __init__ or default "
+        "to None."
+    )
+    example_bad = (
+        "class Daemon(Process):\n"
+        "    pending = []           # one list shared by every daemon\n"
+        "\n"
+        "    def send(self, msg, seen={}):   # one dict for every call\n"
+        "        seen[msg.id] = True\n"
+    )
+    example_good = (
+        "class Daemon(Process):\n"
+        "    def __init__(self):\n"
+        "        self.pending = []  # per-instance\n"
+        "\n"
+        "    def send(self, msg, seen=None):\n"
+        "        seen = {} if seen is None else seen\n"
+    )
+
+    def check_module(self, module, config):
+        if not _in_scope(module.path, config):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if is_mutable_container(default):
+                        yield module.finding(
+                            self.code,
+                            default,
+                            "mutable default argument on `{}`: evaluated once "
+                            "at def time and shared by every call".format(
+                                node.name
+                            ),
+                        )
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if not isinstance(item, ast.Assign):
+                        continue
+                    if not is_mutable_container(item.value):
+                        continue
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            yield module.finding(
+                                self.code,
+                                item,
+                                "class-level mutable container `{}.{}`: shared "
+                                "by every instance; bind it in "
+                                "__init__".format(node.name, target.id),
+                            )
+
+
+def _in_scope(path, config):
+    for prefix in config.sim_restricted:
+        if path_in_dir(path, prefix) or path_matches(path, prefix):
+            return True
+    return False

@@ -27,6 +27,25 @@ class DispatchExhaustivenessRule(Rule):
         "a message class in a protocol's messages module has no "
         "isinstance/match dispatch arm in any of its dispatcher modules"
     )
+    rationale = (
+        "A wire-message class nobody dispatches is either dead protocol "
+        "surface or a message silently dropped on the floor — the "
+        "classic unmodeled-ordering membership bug. Every class in a "
+        "protocol's messages module must have a dispatch arm in one of "
+        "its dispatcher modules; client-facing or payload classes opt "
+        "out with `# repro: not-wire` on their class line."
+    )
+    example_bad = (
+        "# messages.py defines ProbeAck, but no dispatcher mentions it\n"
+        "class ProbeAck:\n"
+        "    ...\n"
+    )
+    example_good = (
+        "def _on_datagram(self, message):\n"
+        "    kind = type(message)\n"
+        "    if kind is ProbeAck:\n"
+        "        self._on_probe_ack(message)\n"
+    )
 
     def check_project(self, project, config):
         for spec in config.protocols:

@@ -35,6 +35,24 @@ class SubstrateRule(Rule):
         "substrate (repro/{core,gcs,sim,net}); the substrate must stay "
         "single-threaded and virtual-time"
     )
+    rationale = (
+        "The substrate runs entirely on the single-threaded virtual-time "
+        "scheduler; a real thread, event loop, or kernel socket there "
+        "introduces host-timing nondeterminism no fault-schedule replay "
+        "can reproduce. Worker fan-out belongs in repro.check, which "
+        "forks whole interpreter processes around the simulation, never "
+        "inside it."
+    )
+    example_bad = (
+        "# inside repro/gcs/daemon.py\n"
+        "import threading\n"
+        "\n"
+        "threading.Thread(target=self._poll).start()\n"
+    )
+    example_good = (
+        "# schedule virtual-time work on the simulation instead\n"
+        "self.sim.call_later(self.interval, self._poll)\n"
+    )
 
     def check_module(self, module, config):
         restricted = config.sim_restricted

@@ -2,8 +2,12 @@
 
 A finding on a line carrying ``# repro: allow <rule>[,<rule>...]`` is
 suppressed (reported in the summary but not counted against the exit
-code). ``# repro: allow *`` suppresses every rule on that line. The
-comment documents an *acknowledged* exception — e.g. the campaign
+code). ``# repro: allow *`` suppresses every rule on that line, and a
+justification may follow after ``--``::
+
+    # repro: allow SHARD001 -- read-only per-worker params
+
+The comment documents an *acknowledged* exception — e.g. the campaign
 runner's wall-clock elapsed-time report, which never feeds a verdict.
 """
 
@@ -20,9 +24,11 @@ def parse_suppressions(lines):
         match = _ALLOW.search(text)
         if match is None:
             continue
+        # Everything after `--` is the human justification, not a code.
+        allowed = match.group(1).split("--", 1)[0]
         codes = {
             code.strip().lower()
-            for code in match.group(1).split(",")
+            for code in allowed.split(",")
             if code.strip()
         }
         if codes:

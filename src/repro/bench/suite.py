@@ -33,6 +33,7 @@ SCALES = {
         "campaign_serial": {"trials": 3, "horizon": 25.0, "workers": 1},
         "campaign_parallel": {"trials": 4, "horizon": 25.0, "workers": 2},
         "burst_loss_failover": {"trials": 1, "horizon": 25.0},
+        "lint_full_project": {"subtree": "gcs"},
     },
     "full": {
         "kernel_events": {"n_events": 40_000},
@@ -42,6 +43,7 @@ SCALES = {
         "campaign_serial": {"trials": 6, "horizon": 40.0, "workers": 1},
         "campaign_parallel": {"trials": 8, "horizon": 40.0, "workers": 2},
         "burst_loss_failover": {"trials": 2, "horizon": 25.0},
+        "lint_full_project": {"subtree": None},
     },
     # The scale tier (segmented membership + rendezvous placement); run
     # via ``repro bench --scale``, never as part of quick/full.
@@ -296,6 +298,32 @@ def make_balance_n1024(scale):
     return run, "assignments"
 
 
+def make_lint_full_project(scale):
+    """Whole-project static analysis: the flow-aware lint engine.
+
+    Times one complete ``Linter().run`` — parsing, symbol table, call
+    graph, dataflow fixed point, state-machine extraction, and every
+    registered rule — over the installed ``repro`` package (quick mode
+    lints the ``gcs`` subtree to fit the CI budget). This is the cost
+    the CI lint job pays on every push, so its trajectory gates the
+    engine's own hot paths. Counts files linted.
+    """
+    import os
+
+    import repro
+    from repro.analysis import Baseline, LintConfig, Linter
+
+    target = os.path.dirname(repro.__file__)
+    if scale.get("subtree"):
+        target = os.path.join(target, scale["subtree"])
+
+    def run():
+        result = Linter(LintConfig()).run([target], baseline=Baseline())
+        return len(result.files)
+
+    return run, "files"
+
+
 def _noop():
     return None
 
@@ -312,6 +340,7 @@ BENCHES = {
     "campaign_serial": make_campaign_serial,
     "campaign_parallel": make_campaign_parallel,
     "burst_loss_failover": make_burst_loss_failover,
+    "lint_full_project": make_lint_full_project,
     "membership_change_n256": make_membership_change_n256,
     "balance_n1024": make_balance_n1024,
 }

@@ -99,7 +99,10 @@ _WORKER_PARAMS = None
 
 
 def _campaign_worker_init(params):
-    global _WORKER_PARAMS
+    # Deliberate per-worker-process state: the pool initializer installs
+    # the campaign parameters exactly once per worker, and trials read
+    # them immutably — the warm-pool design BENCH_kernel.json tracks.
+    global _WORKER_PARAMS  # repro: allow SHARD001 -- read-only per-worker params installed once by the pool initializer
     _WORKER_PARAMS = params
 
 

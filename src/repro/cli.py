@@ -19,9 +19,18 @@ replays a saved failure artifact) and exits nonzero on violations.
 """
 
 import argparse
+import json
 import sys
 
-from repro.analysis import Baseline, LintConfig, Linter, ProtocolSpec, all_rules
+from repro.analysis import (
+    Baseline,
+    LintConfig,
+    Linter,
+    ProtocolSpec,
+    all_rules,
+    load_project,
+    render_state_machines,
+)
 from repro.analysis.report import render_json, render_text
 from repro.check.campaign import run_campaign
 from repro.check.fixtures import FIXTURES
@@ -200,6 +209,14 @@ def build_parser():
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule set and exit"
     )
+    lint.add_argument(
+        "--explain", metavar="CODE", default=None,
+        help="print one rule's description, rationale, and example pair, then exit",
+    )
+    lint.add_argument(
+        "--state-machines", action="store_true", dest="state_machines",
+        help="emit the extracted protocol state machines as JSON and exit",
+    )
 
     sub.add_parser("all", help="run every experiment in sequence")
     return parser
@@ -335,11 +352,38 @@ def _run_bench(args, out):
     return code
 
 
+def _explain_rule(code, out):
+    wanted = code.upper()
+    rule = next((r for r in all_rules() if r.code == wanted), None)
+    if rule is None:
+        out(
+            "unknown rule {!r}; `repro lint --list-rules` prints the "
+            "catalogue".format(code)
+        )
+        return 1
+    out("{}  {}".format(rule.code, rule.name))
+    out("  {}".format(rule.description))
+    if rule.rationale:
+        out("")
+        for line in rule.rationale.strip("\n").splitlines():
+            out("  {}".format(line).rstrip())
+    for title, example in (("bad", rule.example_bad), ("good", rule.example_good)):
+        if not example:
+            continue
+        out("")
+        out("  {}:".format(title))
+        for line in example.strip("\n").splitlines():
+            out("    {}".format(line).rstrip())
+    return 0
+
+
 def _run_lint(args, out):
     if args.list_rules:
         for rule in all_rules():
             out("{}  {}: {}".format(rule.code, rule.name, rule.description))
         return 0
+    if args.explain is not None:
+        return _explain_rule(args.explain, out)
     overrides = {}
     if args.protocol is not None:
         protocols = []
@@ -357,6 +401,16 @@ def _run_lint(args, out):
     if args.sim_restrict is not None:
         overrides["sim_restricted"] = args.sim_restrict
     linter = Linter(LintConfig(**overrides))
+    if args.state_machines:
+        project = load_project(args.paths, linter.config)
+        out(
+            json.dumps(
+                render_state_machines(project, linter.config),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
     if args.update_baseline:
         from repro.analysis.findings import assign_fingerprints

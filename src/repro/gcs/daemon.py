@@ -272,8 +272,7 @@ class SpreadDaemon(Process):
             message = union[seq]
             if message.origin == self.daemon_id:
                 old_orderer.mark_recovered(message.msg_id)
-            if seq > old_orderer.delivered_aru:
-                old_orderer.delivered_aru = seq
+            if old_orderer.absorb_recovered(seq):
                 self.apply_ordered(message)
         pending = old_orderer.pending_submissions()
 

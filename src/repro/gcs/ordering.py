@@ -237,3 +237,17 @@ class ViewOrderer:
     def mark_recovered(self, msg_id):
         """Drop a pending submission that surfaced during recovery."""
         self._pending.pop(msg_id, None)
+
+    def absorb_recovered(self, seq):
+        """Advance the delivery point past a recovered message.
+
+        During installation the daemon replays the members' recovery
+        union in sequence order; the orderer — not the caller — owns
+        ``delivered_aru``, so it advances its own counter and reports
+        whether ``seq`` was new (True: the caller should apply the
+        message) or already delivered in this view (False: skip).
+        """
+        if seq <= self.delivered_aru:
+            return False
+        self.delivered_aru = seq
+        return True

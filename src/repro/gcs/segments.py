@@ -49,7 +49,7 @@ from repro.sim.process import Process
 SEGMENT_PORT = 4810
 
 
-class SegmentConfig:
+class SegmentConfig:  # repro: not-wire (local configuration, never dispatched)
     """Timing knobs for the segmented membership plane."""
 
     def __init__(
@@ -81,7 +81,7 @@ class SegmentConfig:
         self.port = int(port)
 
 
-class Fleet:
+class Fleet:  # repro: not-wire (static roster shared by reference, never sent)
     """The static roster: node names, addresses, segment assignment."""
 
     def __init__(self, entries, segment_size):
@@ -119,7 +119,7 @@ class Fleet:
         return tuple(range(self.n_segments))
 
 
-class GlobalView:
+class GlobalView:  # repro: not-wire (carried inside LeaderBeacon fields, not dispatched)
     """One merged fleet-wide liveness view.
 
     ``version`` is the sum of all segment epochs — strictly increasing

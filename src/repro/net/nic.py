@@ -9,14 +9,19 @@ management code of the real Wackamole.
 
 from repro.net.addresses import IPAddress, MACAddress
 
-_next_mac = [0x020000000001]
+#: First locally-administered MAC handed out in every simulation.
+MAC_BASE = 0x020000000001
 
 
-def allocate_mac():
-    """Hand out a fresh locally-administered MAC address."""
-    mac = MACAddress(_next_mac[0])
-    _next_mac[0] += 1
-    return mac
+def allocate_mac(sim):
+    """Hand out a fresh locally-administered MAC address.
+
+    The counter is per-simulation (``Simulation.sequence``), so MAC
+    assignment is a pure function of NIC creation order within one
+    simulated world: two fresh Simulations allocate identical
+    sequences, regardless of what else ran in the process before.
+    """
+    return MACAddress(MAC_BASE + sim.sequence("net.mac"))
 
 
 class Nic:
@@ -25,7 +30,7 @@ class Nic:
     def __init__(self, host, lan, primary_ip, name=None, mac=None):
         self.host = host
         self.lan = lan
-        self.mac = mac if mac is not None else allocate_mac()
+        self.mac = mac if mac is not None else allocate_mac(host.sim)
         self.name = name or "{}.{}".format(host.name, lan.name)
         self.primary_ip = IPAddress(primary_ip) if primary_ip is not None else None
         self._bound = set()

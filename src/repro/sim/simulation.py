@@ -35,6 +35,20 @@ class Simulation:
         )
         if metrics_enabled:
             self.scheduler.bind_metrics(self.metrics)
+        self._sequences = {}
+
+    def sequence(self, name, start=0):
+        """Next value of the named per-simulation monotonic counter.
+
+        Identity allocation (MAC addresses, connection ids, …) must
+        hang off the Simulation, never off module state: two fresh
+        Simulations — in one process or across shard workers — then
+        hand out identical sequences, keeping replay a pure function
+        of (seed, schedule).
+        """
+        value = self._sequences.get(name, start)
+        self._sequences[name] = value + 1
+        return value
 
     @property
     def now(self):

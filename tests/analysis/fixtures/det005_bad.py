@@ -1,0 +1,29 @@
+"""DET005 bad: RNG streams leaking across component boundaries."""
+
+_HOLDER = {}
+
+
+def stash(stream):
+    _HOLDER["stream"] = stream  # the parameter escapes into module state
+
+
+class DropModel:
+    def __init__(self, rng):
+        self.rng_source = rng
+
+
+class Lan:
+    def transmit(self):
+        rng = self.rng("lan")
+        if self.model.drops(rng):  # foreign method consumes the stream
+            return
+
+    def rebuild(self):
+        gray = self.rng("gray")
+        self.model = DropModel(gray)  # constructor captures the stream
+
+    def leak(self):
+        stash(self.rng("leak"))  # callee stores the stream beyond the call
+
+    def fallback(self):
+        return Random()  # OS-seeded generator can never replay

@@ -1,0 +1,21 @@
+"""DET005 good: streams stay with their component; results cross."""
+
+
+def roll(stream, faces):
+    """Pure drawing helper: consumes the stream, stores nothing."""
+    return stream.randrange(faces)
+
+
+class Lan:
+    def __init__(self, sim):
+        self.sim = sim
+        self.gray = self.rng("gray")  # own named stream kept on self
+
+    def rng(self, name):
+        return self.sim.rng.stream(name)
+
+    def transmit(self, model):
+        rng = self.rng("lan")
+        if model.drops(rng.random()):  # a draw crosses, not the stream
+            return False
+        return roll(rng, 6)  # handoff to a pure drawing function

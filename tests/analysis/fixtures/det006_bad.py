@@ -1,0 +1,14 @@
+"""DET006 bad: containers shared by accident of definition time."""
+
+
+class Tracker:
+    pending = []  # class-level mutable container: shared by all instances
+
+    def note(self, item, seen=set()):  # mutable default: shared across calls
+        seen.add(item)
+        self.pending.append(item)
+
+    def merge(self, extra, into=None, *, overrides={}):  # keyword-only default
+        merged = dict(overrides)
+        merged.update(extra)
+        return merged

@@ -1,0 +1,19 @@
+"""DET006 good: one container per instance, defaults rebuilt per call."""
+
+
+class Tracker:
+    LIMIT = 64  # immutable class attribute: fine
+
+    def __init__(self):
+        self.pending = []
+
+    def note(self, item, seen=None):
+        if seen is None:
+            seen = set()
+        seen.add(item)
+        self.pending.append(item)
+
+    def merge(self, extra, overrides=None):
+        merged = dict(overrides or {})
+        merged.update(extra)
+        return merged

@@ -1,0 +1,26 @@
+"""PROTO002 bad: a multi-arm state chain that misses a declared state."""
+
+IDLE = "idle"
+BUSY = "busy"
+SYNCING = "syncing"
+
+
+class Machine:
+    def __init__(self):
+        self.state = IDLE
+
+    def on_msg(self, msg):
+        if self.state == IDLE:
+            self.begin(msg)
+        elif self.state == BUSY:
+            self.queue(msg)
+        # SYNCING silently falls through: accidental drop
+
+    def begin(self, msg):
+        self.state = BUSY
+
+    def queue(self, msg):
+        self.pending = msg
+
+    def resync(self, msg):
+        self.state = SYNCING

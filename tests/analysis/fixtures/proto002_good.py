@@ -1,0 +1,31 @@
+"""PROTO002 good: every declared state is decided (else = explicit drop)."""
+
+IDLE = "idle"
+BUSY = "busy"
+SYNCING = "syncing"
+
+
+class Machine:
+    def __init__(self):
+        self.state = IDLE
+
+    def on_msg(self, msg):
+        if self.state == IDLE:
+            self.begin(msg)
+        elif self.state == BUSY:
+            self.queue(msg)
+        else:
+            self.drop(msg)
+
+    def on_sync(self, msg):
+        if self.state == SYNCING:  # single-arm guard: idiomatic drop
+            self.state = IDLE
+
+    def begin(self, msg):
+        self.state = BUSY
+
+    def queue(self, msg):
+        self.pending = msg
+
+    def drop(self, msg):
+        self.dropped = msg

@@ -1,0 +1,15 @@
+"""PROTO003 bad: protocol-owned fields written from outside the owner."""
+
+IDLE = "idle"
+BUSY = "busy"
+
+
+class Machine:
+    def __init__(self):
+        self.state = IDLE
+
+    def adopt(self, peer):
+        peer.state = BUSY  # foreign write of a protocol-owned field
+
+    def wander(self, label):
+        self.state = label  # non-constant target state

@@ -1,0 +1,17 @@
+"""PROTO003 good: only the owner moves its state, always to a constant."""
+
+IDLE = "idle"
+BUSY = "busy"
+
+
+class Machine:
+    def __init__(self):
+        self.state = IDLE
+
+    def on_work(self, msg):
+        if self.state == IDLE:
+            self.state = BUSY
+
+    def on_done(self, msg):
+        if self.state == BUSY:
+            self.state = IDLE

@@ -1,0 +1,32 @@
+"""SHARD001 bad: module/class state shared across simulation contexts."""
+
+_SEQUENCE = [0]
+_TOTAL = 0
+
+
+def next_seq():
+    _SEQUENCE[0] += 1  # mutated below from two component classes
+    return _SEQUENCE[0]
+
+
+def reset_total():
+    global _TOTAL
+    _TOTAL = 0
+
+
+class Alpha:
+    def tick(self):
+        return next_seq()
+
+
+class Beta:
+    def tick(self):
+        return next_seq()
+
+
+class Registry:
+    instances = []
+
+
+def register_instance(item):
+    Registry.instances.append(item)  # class attribute shared by every shard

@@ -1,0 +1,29 @@
+"""SHARD001 good: every counter hangs off its owning simulation."""
+
+MAC_BASE = 0x020000000001  # immutable module constant: fine to share
+
+
+class Simulation:
+    def __init__(self):
+        self._sequences = {}
+
+    def sequence(self, name, start=0):
+        value = self._sequences.get(name, start)
+        self._sequences[name] = value + 1
+        return value
+
+
+class Alpha:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def tick(self):
+        return self.sim.sequence("alpha")
+
+
+class Beta:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def tick(self):
+        return self.sim.sequence("beta")

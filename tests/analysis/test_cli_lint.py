@@ -38,8 +38,25 @@ BAD_FIXTURE_ARGS = [
             "proto001_bad/messages.py:proto001_bad/daemon.py",
         ],
     ),
+    ("DET005", [fixture("det005_bad.py"), "--sim-restrict", "fixtures"]),
+    ("DET006", [fixture("det006_bad.py"), "--sim-restrict", "fixtures"]),
+    ("SHARD001", [fixture("shard001_bad.py"), "--sim-restrict", "fixtures"]),
     ("SIM001", [fixture("sim001_bad.py"), "--sim-restrict", "fixtures"]),
 ]
+
+ALL_CODES = (
+    "DET001",
+    "DET002",
+    "DET003",
+    "DET004",
+    "DET005",
+    "DET006",
+    "PROTO001",
+    "PROTO002",
+    "PROTO003",
+    "SHARD001",
+    "SIM001",
+)
 
 
 @pytest.mark.parametrize("code,args", BAD_FIXTURE_ARGS, ids=[c for c, _ in BAD_FIXTURE_ARGS])
@@ -97,8 +114,47 @@ def test_cli_update_baseline_roundtrip(tmp_path):
 def test_cli_list_rules():
     exit_code, output = run_cli(["lint", "--list-rules"])
     assert exit_code == 0
-    for code in ("DET001", "DET002", "DET003", "DET004", "PROTO001", "SIM001"):
+    for code in ALL_CODES:
         assert code in output
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_cli_explain_every_rule(code):
+    exit_code, output = run_cli(["lint", "--explain", code])
+    assert exit_code == 0
+    assert output.startswith(code)
+    assert "bad:" in output
+    assert "good:" in output
+
+
+def test_cli_explain_is_case_insensitive():
+    exit_code, output = run_cli(["lint", "--explain", "det005"])
+    assert exit_code == 0
+    assert output.startswith("DET005")
+
+
+def test_cli_explain_unknown_code_fails():
+    exit_code, output = run_cli(["lint", "--explain", "NOPE999"])
+    assert exit_code == 1
+    assert "unknown rule" in output
+
+
+def test_cli_state_machines_json():
+    exit_code, output = run_cli(["lint", SRC, "--state-machines"])
+    assert exit_code == 0
+    payload = json.loads(output)
+    assert payload["format"] == "repro-state-machines/1"
+    names = [m["name"] for m in payload["machines"]]
+    assert names == sorted(names)
+    assert "gcs.daemon" in names
+
+
+def test_cli_state_machines_matches_committed_artifact():
+    """CI diffs this artifact; the committed copy must never drift."""
+    exit_code, output = run_cli(["lint", SRC, "--state-machines"])
+    assert exit_code == 0
+    with open(os.path.join(REPO_ROOT, "docs", "state-machines.json")) as handle:
+        assert json.load(handle) == json.loads(output)
 
 
 def test_cli_rejects_malformed_protocol_spec():

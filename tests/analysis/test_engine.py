@@ -46,6 +46,22 @@ class TestSuppressions:
         assert not is_suppressed(table, 1, "DET002")
         assert not is_suppressed(table, 2, "DET001")
 
+    def test_allow_comment_accepts_a_reason_suffix(self, tmp_path):
+        result = _lint_source(
+            tmp_path,
+            "import random  # repro: allow DET002 -- vendored demo, "
+            "never replayed\n",
+        )
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_reason_suffix_does_not_widen_the_allowance(self):
+        table = parse_suppressions(
+            ["x = 1  # repro: allow det001 -- det002 mentioned in prose"]
+        )
+        assert is_suppressed(table, 1, "DET001")
+        assert not is_suppressed(table, 1, "DET002")
+
 
 class TestBaseline:
     def test_baselined_findings_do_not_fail_the_run(self, tmp_path):

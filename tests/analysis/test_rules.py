@@ -11,6 +11,7 @@ import os
 import pytest
 
 from repro.analysis import Baseline, LintConfig, Linter, ProtocolSpec, get_rule
+from repro.analysis.statemachine import StateMachineSpec
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 
@@ -29,6 +30,20 @@ def fixture_config():
         sim_restricted=["fixtures"],
         wallclock_exempt=[],
         random_exempt=[],
+        state_machines=[
+            StateMachineSpec(
+                "fixture.proto002_bad", "states", "proto002_bad.py", "Machine"
+            ),
+            StateMachineSpec(
+                "fixture.proto002_good", "states", "proto002_good.py", "Machine"
+            ),
+            StateMachineSpec(
+                "fixture.proto003_bad", "states", "proto003_bad.py", "Machine"
+            ),
+            StateMachineSpec(
+                "fixture.proto003_good", "states", "proto003_good.py", "Machine"
+            ),
+        ],
     )
 
 
@@ -44,7 +59,12 @@ CASES = [
     ("DET002", "det002_bad.py", "det002_good.py"),
     ("DET003", "det003_bad.py", "det003_good.py"),
     ("DET004", "det004_bad.py", "det004_good.py"),
+    ("DET005", "det005_bad.py", "det005_good.py"),
+    ("DET006", "det006_bad.py", "det006_good.py"),
     ("PROTO001", "proto001_bad", "proto001_good"),
+    ("PROTO002", "proto002_bad.py", "proto002_good.py"),
+    ("PROTO003", "proto003_bad.py", "proto003_good.py"),
+    ("SHARD001", "shard001_bad.py", "shard001_good.py"),
     ("SIM001", "sim001_bad.py", "sim001_good.py"),
 ]
 
@@ -102,6 +122,44 @@ def test_sim001_only_applies_inside_restricted_dirs():
     linter = Linter(config, rules=[get_rule("SIM001")])
     result = linter.run([fixture("sim001_bad.py")], baseline=Baseline())
     assert result.findings == []
+
+
+def test_det005_flags_each_leak_shape():
+    findings = run_rule("DET005", [fixture("det005_bad.py")])
+    messages = "\n".join(f.message for f in findings)
+    assert "another object's method" in messages
+    assert "captured by `DropModel(...)`" in messages
+    assert "escapes through `stash`" in messages
+    assert "unseeded Random()" in messages
+    assert len(findings) == 4, findings
+
+
+def test_det006_counts_defaults_and_class_containers():
+    findings = run_rule("DET006", [fixture("det006_bad.py")])
+    # class-level list, mutable positional default, mutable kw-only default
+    assert len(findings) == 3, findings
+
+
+def test_shard001_names_both_reaching_classes():
+    findings = run_rule("SHARD001", [fixture("shard001_bad.py")])
+    messages = "\n".join(f.message for f in findings)
+    assert "`global _TOTAL` rebind" in messages
+    assert "Alpha" in messages and "Beta" in messages
+    assert "Registry.instances" in messages
+
+
+def test_proto002_names_the_missing_state():
+    findings = run_rule("PROTO002", [fixture("proto002_bad.py")])
+    assert len(findings) == 1, findings
+    assert "syncing" in findings[0].message
+
+
+def test_proto003_flags_foreign_and_nonconstant_writes():
+    findings = run_rule("PROTO003", [fixture("proto003_bad.py")])
+    assert len(findings) == 2, findings
+    messages = "\n".join(f.message for f in findings)
+    assert "peer" in messages
+    assert "non-constant" in messages
 
 
 def test_rules_on_repo_protocol_defaults():

@@ -57,6 +57,17 @@ def test_build_workload_returns_runnable_and_unit():
     assert units >= scale["rounds"] * (scale["n_hosts"] - 1)
 
 
+def test_lint_full_project_workload_counts_files():
+    run, unit, scale = build_workload("lint_full_project", "quick")
+    assert unit == "files"
+    assert scale["subtree"] == "gcs"
+    files = run()
+    # The quick scale lints the gcs subtree; the file count is exact
+    # and repeatable, so a drifting count means the workload changed.
+    assert files > 0
+    assert files == run()
+
+
 def test_run_bench_records_samples_and_median():
     result = run_bench("lan_fanout", mode="quick", repeats=3)
     assert len(result["samples"]) == 3

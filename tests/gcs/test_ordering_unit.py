@@ -160,3 +160,17 @@ def test_duplicate_ordered_message_ignored():
     orderer.on_ordered(message)
     orderer.on_ordered(message)
     assert len(harness.applied) == 1
+
+
+def test_absorb_recovered_advances_once_per_seq():
+    """Regression: installation used to poke delivered_aru from the
+    daemon; the orderer now owns the advance and reports novelty."""
+    sim, harness, orderer = make_orderer("bbb")
+    assert orderer.absorb_recovered(1) is True
+    assert orderer.delivered_aru == 1
+    # replaying the same or an older sequence is a no-op
+    assert orderer.absorb_recovered(1) is False
+    assert orderer.absorb_recovered(0) is False
+    assert orderer.delivered_aru == 1
+    assert orderer.absorb_recovered(3) is True
+    assert orderer.delivered_aru == 3

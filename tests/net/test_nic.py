@@ -67,6 +67,24 @@ def test_unique_macs_allocated(sim, lan):
     assert nic_a.mac != nic_b.mac
 
 
+def test_mac_allocation_replays_per_simulation():
+    """Two fresh simulations must hand out the *same* MAC sequence.
+
+    Regression: MAC allocation used to advance a module-global counter,
+    so the addresses a replay saw depended on every simulation built
+    earlier in the process.
+    """
+    def macs(n):
+        sim = Simulation(seed=0)
+        lan = Lan(sim, "lan0", "10.0.0.0/24")
+        host = Host(sim, "h")
+        return [
+            host.add_nic(lan, "10.0.0.{}".format(10 + i)).mac for i in range(n)
+        ]
+
+    assert macs(3) == macs(3)
+
+
 def test_down_nic_not_counted_in_host_ips(sim, lan):
     host = Host(sim, "h4")
     nic = host.add_nic(lan, "10.0.0.7")

@@ -104,8 +104,11 @@ def test_bench_quick_writes_trajectory_and_gates_on_regression(tmp_path):
     import json
 
     path = tmp_path / "BENCH.json"
+    # A wide threshold keeps single-repeat timing jitter on the ~1 ms
+    # workload from tripping the gate; the planted baseline below is
+    # slower by orders of magnitude, so it still regresses.
     args = [
-        "bench", "--quick", "--repeat", "1",
+        "bench", "--quick", "--repeat", "1", "--threshold", "9.0",
         "--benches", "lan_fanout", "--output", str(path),
     ]
     code, output = run_cli(args)
