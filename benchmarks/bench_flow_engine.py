@@ -1,0 +1,67 @@
+"""Wall-clock cost of the flow-level traffic plane (§6 at scale).
+
+The flow engine's promise is that a million modeled clients cost
+O(pools + VIPs) per tick, not O(users). These benches time the same
+workload the ``flow_engine_ticks`` kernel bench records in
+BENCH_kernel.json — half the pools served, half blackholed, so
+resolution, the vectorized advance, and loss accounting all run every
+tick — at 10^5 users (the CI quick scale) and 10^6 users (the full
+scale), and additionally pin the pure-python fallback so a numpy-less
+deployment's cost is tracked too.
+"""
+
+from repro.bench.suite import build_workload
+from repro.flow import FlowEngine, FlowPool
+from repro.sim.simulation import Simulation
+
+
+def _check_pool_ticks(pool_ticks, scale):
+    # run(until=T) stops before firing at exactly T, and the 0.05 tick
+    # accumulates float error, so the boundary tick may or may not
+    # land: N or N-1 ticks per pool are both exact behaviour.
+    n = int(round(scale["duration"] / 0.05))
+    assert pool_ticks in (n * scale["pools"], (n - 1) * scale["pools"])
+
+
+def bench_flow_ticks_100k_users(benchmark):
+    run, unit, scale = build_workload("flow_engine_ticks", mode="quick")
+    pool_ticks = benchmark(run)
+    _check_pool_ticks(pool_ticks, scale)
+    benchmark.extra_info["users"] = scale["users"]
+    benchmark.extra_info["unit"] = unit
+
+
+def bench_flow_ticks_1m_users(benchmark):
+    run, unit, scale = build_workload("flow_engine_ticks", mode="full")
+    pool_ticks = benchmark.pedantic(run, rounds=1, iterations=1)
+    _check_pool_ticks(pool_ticks, scale)
+    benchmark.extra_info["users"] = scale["users"]
+    benchmark.extra_info["unit"] = unit
+
+
+class _AlwaysServe:
+    def begin_tick(self):
+        pass
+
+    def resolve(self, vip):
+        return 1.0, None, None
+
+
+def bench_flow_pure_python_fallback(benchmark):
+    # The fallback is the advance path a numpy-less install pays; its
+    # per-tick cost must stay in the same order as the vector path.
+    def run():
+        sim = Simulation(seed=0, trace_enabled=False, metrics_enabled=False)
+        engine = FlowEngine(
+            sim, resolver=_AlwaysServe(), tick=0.05, use_numpy=False
+        )
+        for index in range(64):
+            engine.add_pool(
+                FlowPool("p{}".format(index), "10.0.0.{}".format(1 + index), 1562)
+            )
+        engine.start()
+        sim.run(until=30.01)
+        return engine.totals()["ticks"]
+
+    ticks = benchmark(run)
+    assert ticks == 600

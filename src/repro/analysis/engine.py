@@ -56,6 +56,7 @@ DEFAULT_SIM_RESTRICTED = (
     "repro/sim",
     "repro/net",
     "repro/obs",
+    "repro/flow",
     "repro/bench",
 )
 

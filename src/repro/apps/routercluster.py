@@ -20,6 +20,7 @@ Three routing modes reproduce §5.2:
 
 from repro.apps.routing import RipSpeaker
 from repro.apps.workload import ProbeClient, UdpEchoServer
+from repro.flow import ArpViewResolver, FlowEngine, FlowPool
 from repro.core.audit import CoverageAuditor
 from repro.core.config import VipGroup, WackamoleConfig
 from repro.core.daemon import WackamoleDaemon
@@ -63,6 +64,22 @@ class _OwnershipController(Process):
             speaker.set_listening(active)
 
 
+def _routable_gate(routing_mode):
+    """Service gate for router flow pools: the owner must route off-link.
+
+    Static mode always has its routes; the dynamic modes only serve
+    once the owning router has learned a path to the probed internet
+    host — the same readiness predicate ``run_until_stable`` uses.
+    """
+    if routing_mode == "static":
+        return None
+
+    def routable(owner):
+        return owner.lookup_route("8.8.8.8") is not None
+
+    return routable
+
+
 class RouterClusterScenario:
     """Builds and runs one virtual-router deployment."""
 
@@ -76,6 +93,10 @@ class RouterClusterScenario:
         placement_strategy=None,
         rip_interval=30.0,
         probe_interval=0.010,
+        flow_users=0,
+        flow_rate=1.0,
+        flow_tick=0.05,
+        flow_use_numpy=None,
         trace_enabled=True,
         arp_share=False,
     ):
@@ -147,6 +168,41 @@ class RouterClusterScenario:
         self.auditor = CoverageAuditor(self.wacks)
         self.probe = None
 
+        # The flow plane: internal populations behind each served LAN
+        # aim at their gateway VIP through that LAN's own ARP viewpoint;
+        # the ``require`` gate additionally demands the owning router
+        # can actually route off-link (§5.2's naive-mode stall shows up
+        # as ``no_route`` loss even while the VIP itself is answered).
+        self.flow_engine = None
+        self.flow_hosts = []
+        if flow_users:
+            self.flow_engine = FlowEngine(
+                self.sim, tick=flow_tick, name="router", use_numpy=flow_use_numpy
+            )
+            routable = _routable_gate(self.routing_mode)
+            share = int(flow_users) // 2
+            for pool_name, lan, address, vip, users in (
+                ("web-pool", self.visible, "203.0.113.200", VISIBLE_VIP, int(flow_users) - share),
+                ("db-pool", self.private, "192.168.0.200", PRIVATE_VIP, share),
+            ):
+                if not users:
+                    continue
+                client = Host(self.sim, "flow-{}".format(lan.name))
+                client.add_nic(lan, address)
+                client.set_default_gateway(vip)
+                self.flow_hosts.append(client)
+                resolver = ArpViewResolver(lan, client, self.routers)
+                self.flow_engine.add_pool(
+                    FlowPool(
+                        pool_name,
+                        vip,
+                        users,
+                        rate=flow_rate,
+                        require=routable,
+                        resolver=resolver,
+                    )
+                )
+
     # ------------------------------------------------------------------
     # routing plumbing
 
@@ -211,12 +267,16 @@ class RouterClusterScenario:
             self.sim.after(0.02, self.upstream_speaker.start)
         for controller in self.controllers:
             self.sim.after(0.03, controller.start)
+        if self.flow_engine is not None:
+            self.flow_engine.start()
         return self
 
-    def start_probe(self, source="db"):
+    def start_probe(self, source="db", interval=None):
         """Probe the internet service from an internal host (§5.2 path)."""
         host = self.db_host if source == "db" else self.web_host
-        self.probe = ProbeClient(host, "8.8.8.8", interval=self.probe_interval)
+        if interval is None:
+            interval = self.probe_interval
+        self.probe = ProbeClient(host, "8.8.8.8", interval=interval)
         self.probe.start()
         return self.probe
 

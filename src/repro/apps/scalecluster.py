@@ -21,6 +21,7 @@ machinery stays in the faithful tier where clients are modeled.
 """
 
 from repro.core.placement import RendezvousMap
+from repro.flow import DirectResolver, FlowEngine, FlowPool
 from repro.gcs.segments import Fleet, SegmentConfig, SegmentNode
 from repro.net.fault import FaultInjector
 from repro.net.host import Host
@@ -85,6 +86,10 @@ class ScaleClusterScenario:
         n_vips=2048,
         segment_size=32,
         segment_config=None,
+        flow_users=0,
+        flow_rate=1.0,
+        flow_tick=0.05,
+        flow_use_numpy=None,
         trace_enabled=False,
         trace_capacity=None,
         metrics_enabled=False,
@@ -119,6 +124,35 @@ class ScaleClusterScenario:
             host.add_nic(self.lan, ip)
             self.hosts.append(host)
             self._attach(index)
+
+        # The flow plane, scale tier: clients are not modeled at this
+        # size, so pools resolve through a DirectResolver over the live
+        # managers' bound sets — a VIP serves iff some live manager
+        # currently binds it.
+        self.flow_engine = None
+        if flow_users:
+            resolver = DirectResolver(self._flow_bindings, lan=self.lan)
+            self.flow_engine = FlowEngine(
+                self.sim,
+                resolver=resolver,
+                tick=flow_tick,
+                name="scale",
+                use_numpy=flow_use_numpy,
+            )
+            share, remainder = divmod(int(flow_users), n_vips)
+            for index, vip in enumerate(self.vips):
+                users = share + (1 if index < remainder else 0)
+                if users:
+                    self.flow_engine.add_pool(
+                        FlowPool("pool-{:04d}".format(index), vip, users, rate=flow_rate)
+                    )
+
+    def _flow_bindings(self):
+        """(vip, owner host) pairs over live managers, for the resolver."""
+        for manager in self.managers:
+            if manager.alive:
+                for vip in manager.bound:
+                    yield vip, manager.host
 
     @staticmethod
     def _host_name(index):
@@ -159,6 +193,8 @@ class ScaleClusterScenario:
         """Boot every node (heartbeat phases are per-node jittered)."""
         for node in self.nodes:
             node.start()
+        if self.flow_engine is not None:
+            self.flow_engine.start()
         return self
 
     def settle(self, timeout=30.0, step=0.5):

@@ -7,6 +7,7 @@ same segment measures availability exactly as in §6.
 """
 
 from repro.apps.workload import ProbeClient, UdpEchoServer
+from repro.flow import ArpViewResolver, FlowEngine, FlowPool
 from repro.core.audit import CoverageAuditor
 from repro.core.config import WackamoleConfig
 from repro.core.daemon import WackamoleDaemon
@@ -33,6 +34,10 @@ class WebClusterScenario:
         wackamole_overrides=None,
         placement_strategy=None,
         probe_interval=0.010,
+        flow_users=0,
+        flow_rate=1.0,
+        flow_tick=0.05,
+        flow_use_numpy=None,
         trace_enabled=True,
         trace_capacity=None,
         metrics_enabled=True,
@@ -83,6 +88,32 @@ class WebClusterScenario:
         self.probe_interval = probe_interval
         self.auditor = CoverageAuditor(self.wacks)
 
+        # The flow plane: ``flow_users`` aggregate clients spread evenly
+        # across the VIPs, resolved through a dedicated client host's
+        # ARP view (so spoofed announcements repair their path exactly
+        # as they repair the prober's).
+        self.flow_engine = None
+        self.flow_host = None
+        if flow_users:
+            self.flow_host = Host(self.sim, "flowclients")
+            self.flow_host.add_nic(self.lan, "198.51.100.201")
+            self.flow_host.set_default_gateway("198.51.100.1")
+            resolver = ArpViewResolver(self.lan, self.flow_host, self.hosts)
+            self.flow_engine = FlowEngine(
+                self.sim,
+                resolver=resolver,
+                tick=flow_tick,
+                name="web",
+                use_numpy=flow_use_numpy,
+            )
+            share, remainder = divmod(int(flow_users), len(self.vips))
+            for index, vip in enumerate(self.vips):
+                users = share + (1 if index < remainder else 0)
+                if users:
+                    self.flow_engine.add_pool(
+                        FlowPool("pool-{}".format(index), vip, users, rate=flow_rate)
+                    )
+
     # ------------------------------------------------------------------
 
     def start(self, stagger=0.05):
@@ -90,12 +121,16 @@ class WebClusterScenario:
         for index, (spread, wack) in enumerate(zip(self.spreads, self.wacks)):
             self.sim.after(stagger * index, spread.start)
             self.sim.after(stagger * index + 0.01, wack.start)
+        if self.flow_engine is not None:
+            self.flow_engine.start()
         return self
 
-    def start_probe(self, vip=None):
+    def start_probe(self, vip=None, interval=None):
         """Attach the §6 probe client to one virtual address."""
         target = vip if vip is not None else self.vips[0]
-        self.probe = ProbeClient(self.client_host, target, interval=self.probe_interval)
+        if interval is None:
+            interval = self.probe_interval
+        self.probe = ProbeClient(self.client_host, target, interval=interval)
         self.probe.start()
         return self.probe
 

@@ -27,13 +27,26 @@ class UdpEchoServer:
         self.host = host
         self.port = port
         self.requests_served = 0
+        self.requests_malformed = 0
         self._m_served = host.sim.metrics.counter(
             "workload.requests_served", node=host.name
+        )
+        self._m_malformed = host.sim.metrics.counter(
+            "workload.requests_malformed", node=host.name
         )
         self._socket = host.open_udp(port, self._respond)
 
     def _respond(self, payload, src, dst):
-        if not isinstance(payload, tuple) or payload[0] != "req":
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) < 2
+            or payload[0] != "req"
+        ):
+            # A malformed datagram must not vanish silently: the
+            # flow-vs-prober reconciliation counts every request, so an
+            # invisible drop here would skew it.
+            self.requests_malformed += 1
+            self._m_malformed.inc()
             return
         self.requests_served += 1
         self._m_served.inc()

@@ -33,6 +33,7 @@ SCALES = {
         "campaign_serial": {"trials": 3, "horizon": 25.0, "workers": 1},
         "campaign_parallel": {"trials": 4, "horizon": 25.0, "workers": 2},
         "burst_loss_failover": {"trials": 1, "horizon": 25.0},
+        "flow_engine_ticks": {"users": 100_000, "pools": 64, "duration": 30.0},
         "lint_full_project": {"subtree": "gcs"},
     },
     "full": {
@@ -43,6 +44,7 @@ SCALES = {
         "campaign_serial": {"trials": 6, "horizon": 40.0, "workers": 1},
         "campaign_parallel": {"trials": 8, "horizon": 40.0, "workers": 2},
         "burst_loss_failover": {"trials": 2, "horizon": 25.0},
+        "flow_engine_ticks": {"users": 1_000_000, "pools": 256, "duration": 60.0},
         "lint_full_project": {"subtree": None},
     },
     # The scale tier (segmented membership + rendezvous placement); run
@@ -298,6 +300,52 @@ def make_balance_n1024(scale):
     return run, "assignments"
 
 
+def make_flow_engine_ticks(scale):
+    """Flow-plane tick throughput at 10^5/10^6 users.
+
+    ``pools`` client pools share ``users`` users and alternate between
+    a served VIP and a blackholed one, so every tick pays resolution,
+    the vectorized advance, and the loss-accounting path. Units are
+    pool-ticks (pools x ticks): the engine's O(pools) per-tick cost is
+    what the >25% regression gate defends, independent of user count.
+    """
+    from repro.flow import FlowEngine, FlowPool
+    from repro.net.host import Host
+    from repro.net.lan import Lan
+
+    users = scale["users"]
+    n_pools = scale["pools"]
+    duration = scale["duration"]
+
+    def run():
+        sim = Simulation(seed=0, trace_enabled=False, metrics_enabled=False)
+        lan = Lan(sim, "lan", "10.64.0.0/16")
+        server = Host(sim, "s0")
+        nic = server.add_nic(lan, "10.64.0.1")
+        client = Host(sim, "client")
+        client.add_nic(lan, "10.64.0.2")
+        from repro.flow import ArpViewResolver
+
+        resolver = ArpViewResolver(lan, client, [server])
+        engine = FlowEngine(sim, resolver=resolver, tick=0.05)
+        share = users // n_pools
+        for index in range(n_pools):
+            # Even pools hit a served VIP, odd pools a blackhole, so the
+            # bench covers both accounting paths every tick.
+            vip = "10.64.{}.{}".format(128 + (index % 2), 1 + index // 2)
+            if index % 2 == 0:
+                nic.bind_ip(vip)
+            engine.add_pool(FlowPool("p{}".format(index), vip, share, rate=1.0))
+        engine.start()
+        sim.run(until=duration)
+        totals = engine.totals()
+        if totals["served"] == 0 or totals["lost"] == 0:
+            raise RuntimeError("flow bench lost its served/blackhole split")
+        return totals["ticks"] * n_pools
+
+    return run, "pool-ticks"
+
+
 def make_lint_full_project(scale):
     """Whole-project static analysis: the flow-aware lint engine.
 
@@ -340,6 +388,7 @@ BENCHES = {
     "campaign_serial": make_campaign_serial,
     "campaign_parallel": make_campaign_parallel,
     "burst_loss_failover": make_burst_loss_failover,
+    "flow_engine_ticks": make_flow_engine_ticks,
     "lint_full_project": make_lint_full_project,
     "membership_change_n256": make_membership_change_n256,
     "balance_n1024": make_balance_n1024,

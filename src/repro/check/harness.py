@@ -92,6 +92,30 @@ class CheckCluster:
                 self.supervisors.append(supervisor)
         self.auditor = CoverageAuditor(self.wacks)
         self.restarts = 0
+        self.flow_engine = None
+        self.flow_host = None
+
+    def attach_flow(self, flow_users, flow_rate=1.0, tick=0.05):
+        """Attach an aggregate client population across the trial VIPs.
+
+        Must be called before :meth:`start`. The pools resolve through a
+        dedicated client host's ARP view, so the trial's flow totals
+        price exactly the outage windows its fault schedule opens.
+        """
+        from repro.flow import ArpViewResolver, FlowEngine, FlowPool
+
+        self.flow_host = Host(self.sim, "flowclients")
+        self.flow_host.add_nic(self.lan, "10.9.0.200")
+        resolver = ArpViewResolver(self.lan, self.flow_host, self.hosts)
+        self.flow_engine = FlowEngine(self.sim, resolver=resolver, tick=tick, name="check")
+        share, remainder = divmod(int(flow_users), len(self.vips))
+        for index, vip in enumerate(self.vips):
+            users = share + (1 if index < remainder else 0)
+            if users:
+                self.flow_engine.add_pool(
+                    FlowPool("pool-{}".format(index), vip, users, rate=flow_rate)
+                )
+        return self.flow_engine
 
     def start(self, stagger=0.03):
         """Boot every daemon with a small start stagger."""
@@ -100,6 +124,8 @@ class CheckCluster:
             self.sim.after(stagger * index + 0.01, wack.start)
         for supervisor in self.supervisors:
             supervisor.start()
+        if self.flow_engine is not None:
+            self.flow_engine.start()
         return self
 
     def _make_on_restart(self, index):

@@ -28,6 +28,7 @@ _COMPARED_FIELDS = (
     "episodes",
     "fault_log",
     "degraded",
+    "flow",
 )
 
 

@@ -26,6 +26,10 @@ SPEC_DEFAULTS = {
     # conflict resolution, daemon supervisors) against the gray fault
     # repertoire. Off reproduces the historical cluster exactly.
     "gray": False,
+    # Flow plane: aggregate clients spread across the trial VIPs. Zero
+    # keeps the historical trials byte-identical (no engine at all).
+    "flow_users": 0,
+    "flow_rate": 1.0,
 }
 
 # How long (simulated seconds) a view-relative violation must persist,
@@ -74,6 +78,8 @@ def run_trial(spec):
         daemon_class(spec["fixture"]),
         gray=spec["gray"],
     )
+    if spec.get("flow_users"):
+        cluster.attach_flow(spec["flow_users"], spec.get("flow_rate", 1.0))
     cluster.start()
     if not cluster.settle(timeout=spec["settle_timeout"]):
         return _failure(spec, sim, cluster, "setup_failed", [])
@@ -117,7 +123,7 @@ def run_trial(spec):
     if not cluster.settle(timeout=spec["settle_timeout"]):
         cluster.refresh_auditor()
         return _failure(spec, sim, cluster, "no_convergence", cluster.auditor.check())
-    return {
+    result = {
         "verdict": "pass",
         "seed": spec["seed"],
         "sim_time": round(sim.now, 6),
@@ -128,10 +134,19 @@ def run_trial(spec):
         "fault_log": cluster.faults.log_as_dicts(),
         "degraded": degraded_spans_as_dicts(sim.trace.records),
     }
+    _attach_flow_totals(result, cluster)
+    return result
+
+
+def _attach_flow_totals(result, cluster):
+    # Only trials that ran a flow plane carry the key, so historical
+    # artifacts (no "flow" on either side) still replay-compare clean.
+    if cluster.flow_engine is not None:
+        result["flow"] = cluster.flow_engine.fingerprint()
 
 
 def _failure(spec, sim, cluster, verdict, violations):
-    return {
+    result = {
         "verdict": verdict,
         "seed": spec["seed"],
         "sim_time": round(sim.now, 6),
@@ -143,6 +158,8 @@ def _failure(spec, sim, cluster, verdict, violations):
         "fault_log": cluster.faults.log_as_dicts(),
         "degraded": degraded_spans_as_dicts(sim.trace.records),
     }
+    _attach_flow_totals(result, cluster)
+    return result
 
 
 def result_signature(result):

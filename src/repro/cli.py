@@ -7,6 +7,7 @@
     python -m repro baselines
     python -m repro tuning
     python -m repro check --trials 32 --workers 4
+    python -m repro flow --users 1000000 --fault nic_down
     python -m repro observe --fault crash --format jsonl
     python -m repro bench --quick
     python -m repro lint src/repro --format json
@@ -119,6 +120,33 @@ def build_parser():
     check.add_argument(
         "--repeat", type=int, default=1, help="replay the artifact N times"
     )
+
+    flow = sub.add_parser(
+        "flow", help="flow-level fail-over run: requests lost at 10^5-10^7 users"
+    )
+    flow.add_argument("--seed", type=int, default=7)
+    flow.add_argument("--servers", type=int, default=3)
+    flow.add_argument("--vips", type=int, default=10)
+    flow.add_argument(
+        "--users", type=int, default=1_000_000,
+        help="aggregate client population spread across the VIPs",
+    )
+    flow.add_argument(
+        "--rate", type=float, default=1.0, help="requests/second per user"
+    )
+    flow.add_argument(
+        "--tick", type=float, default=0.05, help="flow engine tick (sim seconds)"
+    )
+    flow.add_argument("--fault", default="nic_down", choices=("nic_down", "crash", "shutdown"))
+    flow.add_argument(
+        "--observe", type=float, default=15.0,
+        help="simulated seconds to run after the fault",
+    )
+    flow.add_argument(
+        "--pure-python", action="store_true",
+        help="force the pure-python tick backend (parity check)",
+    )
+    flow.add_argument("--format", choices=("text", "json"), default="text")
 
     observe = sub.add_parser(
         "observe", help="instrumented fail-over run: metric catalog + episodes"
@@ -295,6 +323,64 @@ def _run_check(args, out):
     return 0 if report.passed else 1
 
 
+def _run_flow(args, out):
+    from repro.apps.webcluster import WebClusterScenario
+    from repro.gcs.config import SpreadConfig
+    from repro.obs.episodes import extract_episodes, first_complete_episode
+
+    scenario = WebClusterScenario(
+        seed=args.seed,
+        n_servers=args.servers,
+        n_vips=args.vips,
+        spread_config=SpreadConfig.tuned(),
+        flow_users=args.users,
+        flow_rate=args.rate,
+        flow_tick=args.tick,
+        flow_use_numpy=False if args.pure_python else None,
+    )
+    scenario.start()
+    scenario.start_probe()
+    if not scenario.run_until_stable():
+        out("cluster failed to stabilize")
+        return 1
+    scenario.flow_engine.reset_counters()
+    fault_time = scenario.sim.now
+    victim = scenario.kill_owner_of(scenario.vips[0], mode=args.fault)
+    scenario.sim.run_for(args.observe)
+    episode = first_complete_episode(
+        extract_episodes(scenario.sim.trace.records), after=fault_time
+    )
+    totals = scenario.flow_engine.totals()
+    payload = {
+        "backend": "numpy" if scenario.flow_engine.use_numpy else "python",
+        "fault": args.fault,
+        "victim": victim.host.name,
+        "flow": totals,
+        "probe_interruption": scenario.probe.failover_interruption(after=fault_time),
+        "episode": episode.to_dict() if episode is not None else None,
+    }
+    if args.format == "json":
+        out(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    out("flow fail-over: {} users @ {}/s across {} VIPs ({} backend)".format(
+        totals["users"], args.rate, args.vips, payload["backend"]
+    ))
+    out("  fault: {} against {}".format(args.fault, victim.host.name))
+    out("  offered {}  served {}  lost {}".format(
+        totals["offered"], totals["served"], totals["lost"]
+    ))
+    for reason, count in totals["lost_by_reason"].items():
+        out("    lost[{}] = {}".format(reason, count))
+    if payload["probe_interruption"] is not None:
+        out("  probe interruption: {:.4f}s".format(payload["probe_interruption"]))
+    if episode is not None:
+        out("  episode requests_lost: {}  goodput_pct: {}".format(
+            episode.requests_lost,
+            "n/a" if episode.goodput_pct is None else round(episode.goodput_pct, 3),
+        ))
+    return 0
+
+
 def _run_observe(args, out):
     from repro.obs.dashboard import jsonl_observation, render_observation
     from repro.obs.observe import run_observation
@@ -446,6 +532,7 @@ def main(argv=None, out=print):
         "load": _run_load,
         "availability": _run_availability,
         "check": _run_check,
+        "flow": _run_flow,
         "observe": _run_observe,
         "bench": _run_bench,
         "lint": _run_lint,

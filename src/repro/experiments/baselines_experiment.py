@@ -35,10 +35,11 @@ class BaselineComparison:
         "fake",
     )
 
-    def __init__(self, trials=3, n_servers=3, base_seed=5000):
+    def __init__(self, trials=3, n_servers=3, base_seed=5000, probe_interval=0.010):
         self.trials = trials
         self.n_servers = n_servers
         self.base_seed = base_seed
+        self.probe_interval = probe_interval
 
     def run_protocol(self, protocol):
         """Interruption samples for one protocol."""
@@ -83,7 +84,7 @@ class BaselineComparison:
         return sim, lan, hosts, client
 
     def _measure(self, sim, hosts, client, owner_of_vip, settle, seed, warm_base=1.0):
-        probe = ProbeClient(client, VIP)
+        probe = ProbeClient(client, VIP, interval=self.probe_interval)
         probe.start()
         phase = RngRegistry(seed).stream("fault_phase").uniform(0.0, 1.0)
         sim.run_for(warm_base + phase)

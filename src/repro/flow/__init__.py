@@ -1,0 +1,30 @@
+"""Flow-level traffic plane: aggregate demand at 10^5–10^7 users.
+
+The paper's prober (:mod:`repro.apps.workload`) measures *silence* —
+one 10 ms probe stream per VIP tells you how long a failover kept the
+address dark, but nothing about what the outage cost real traffic.
+This package supplies the other axis: client populations modeled as
+rate aggregates (:class:`FlowPool`), advanced in batches on coarse
+scheduler ticks by a :class:`FlowEngine`, with every tick's requests
+resolved against the live ARP/ownership state of the same simulated
+cluster the prober runs in. The output is *requests lost per failover
+episode* and *goodput under degradation* at populations the per-packet
+plane could never carry — while the exact prober keeps the paper's
+interruption-time methodology running alongside for cross-validation.
+
+See ``docs/TRAFFIC.md`` for the model, the loss-attribution rules, and
+the accuracy caveats relative to the exact prober.
+"""
+
+from repro.flow.engine import FlowEngine
+from repro.flow.pool import LOSS_REASONS, FlowPool
+from repro.flow.resolve import ArpViewResolver, DirectResolver, degradation_factor
+
+__all__ = [
+    "FlowEngine",
+    "FlowPool",
+    "LOSS_REASONS",
+    "ArpViewResolver",
+    "DirectResolver",
+    "degradation_factor",
+]

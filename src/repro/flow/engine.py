@@ -1,0 +1,349 @@
+"""The flow engine: batched, tick-driven aggregate traffic accounting.
+
+One :class:`FlowEngine` advances every attached
+:class:`~repro.flow.pool.FlowPool` on a coarse periodic tick. Per tick
+the work is O(pools + distinct VIPs), never O(users) — a million
+simulated clients cost exactly as much as their pool count — which is
+what lets the flow plane coexist with the exact per-packet prober at
+10^5–10^7 users without melting the event loop.
+
+The per-tick inner loop (demand accrual, carry propagation, goodput
+scaling) runs over parallel arrays and has two interchangeable
+backends: a numpy-vectorized one and a pure-python fallback. Both
+perform the *same float64 operations in the same element order*, so a
+run's request totals — and therefore its fingerprints, metrics and
+trace — are byte-identical whichever backend executed it (the
+determinism suite asserts exactly that). All tick state hangs off the
+engine instance, and the only randomness (optional per-tick demand
+jitter) draws from the engine's own named stream, so two engines in
+two Simulations never share state or couple their draw sequences.
+"""
+
+import math
+
+from repro.sim.process import Process
+
+try:
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised via use_numpy=False
+    _numpy = None
+
+
+class FlowEngine(Process):
+    """Advances client pools in batches on scheduler ticks."""
+
+    def __init__(self, sim, resolver=None, tick=0.05, name="clients",
+                 jitter=0.0, use_numpy=None):
+        super().__init__(sim, "flow@{}".format(name))
+        if tick <= 0.0:
+            raise ValueError("tick must be positive, got {}".format(tick))
+        if use_numpy is None:
+            use_numpy = _numpy is not None
+        if use_numpy and _numpy is None:
+            raise RuntimeError("use_numpy=True but numpy is not importable")
+        self.resolver = resolver
+        self.tick = float(tick)
+        self.jitter = float(jitter)
+        self.use_numpy = bool(use_numpy)
+        self.pools = []
+        self.ticks = 0
+        self.requests_offered = 0
+        self.requests_served = 0
+        self.requests_lost = 0
+        self.lost_by_reason = {}
+        self._jitter_rng = None
+        self._compiled = False
+        self._timer = self.periodic(self._on_tick, self.tick, name="tick")
+        metrics = sim.metrics
+        self._m_ticks = metrics.counter("flow.ticks", node=self.name)
+        self._m_offered = metrics.counter("flow.requests_offered", node=self.name)
+        self._m_served = metrics.counter("flow.requests_served", node=self.name)
+        self._m_lost = {}
+
+    # ------------------------------------------------------------------
+    # pool management
+
+    def add_pool(self, pool):
+        """Attach a pool; takes effect from the next tick."""
+        if pool.resolver is None and self.resolver is None:
+            raise ValueError("pool {} has no resolver and the engine has no default".format(pool.name))
+        self.pools.append(pool)
+        self._compiled = False
+        return pool
+
+    def total_users(self):
+        """Sum of users across attached pools."""
+        return sum(pool.users for pool in self.pools)
+
+    def start(self):
+        """Begin ticking every ``tick`` simulated seconds."""
+        self.trace(
+            "flow",
+            "start",
+            pools=len(self.pools),
+            users=self.total_users(),
+            tick=self.tick,
+            backend="numpy" if self.use_numpy else "python",
+        )
+        self._timer.start(first_delay=self.tick)
+
+    def stop_flow(self):
+        """Stop ticking (totals and carries keep their values)."""
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    # compiled per-pool arrays
+
+    def _compile(self):
+        """(Re)build the parallel arrays and resolution groups."""
+        self._flush_carry()
+        n = len(self.pools)
+        demand = [pool.users * pool.rate for pool in self.pools]
+        carry = [pool.carry for pool in self.pools]
+        # Resolution groups: one resolver.resolve call per distinct
+        # (resolver, vip) pair per tick, shared by every pool aimed at it.
+        self._resolvers = []
+        self._group_keys = []
+        group_index = {}
+        pool_group = []
+        for pool in self.pools:
+            resolver = pool.resolver if pool.resolver is not None else self.resolver
+            key = (id(resolver), pool.vip)
+            index = group_index.get(key)
+            if index is None:
+                index = len(self._group_keys)
+                group_index[key] = index
+                self._group_keys.append((resolver, pool.vip))
+                if resolver not in self._resolvers:
+                    self._resolvers.append(resolver)
+            pool_group.append(index)
+        self._pool_group = pool_group
+        if self.use_numpy:
+            self._demand = _numpy.array(demand, dtype=_numpy.float64)
+            self._carry = _numpy.array(carry, dtype=_numpy.float64)
+            self._c_offered = _numpy.zeros(n, dtype=_numpy.int64)
+            self._c_served = _numpy.zeros(n, dtype=_numpy.int64)
+        else:
+            self._demand = demand
+            self._carry = list(carry)
+            self._c_offered = [0] * n
+            self._c_served = [0] * n
+        self._base_offered = [pool.offered for pool in self.pools]
+        self._base_served = [pool.served for pool in self.pools]
+        self._compiled = True
+
+    def _flush_carry(self):
+        """Write array state back into the pool objects."""
+        if not self._compiled:
+            return
+        for index, pool in enumerate(self.pools):
+            pool.carry = float(self._carry[index])
+            pool.offered = self._base_offered[index] + int(self._c_offered[index])
+            pool.served = self._base_served[index] + int(self._c_served[index])
+            pool.lost = pool.offered - pool.served
+
+    # ------------------------------------------------------------------
+    # the tick
+
+    def _on_tick(self):
+        if not self.pools:
+            return
+        if not self._compiled:
+            self._compile()
+        self.ticks += 1
+        self._m_ticks.inc()
+        factors, reasons = self._resolve_groups()
+        jitters = self._draw_jitter()
+        if self.use_numpy:
+            offered, served = self._advance_numpy(factors, jitters)
+        else:
+            offered, served = self._advance_python(factors, jitters)
+        self._account(offered, served, reasons)
+
+    def _resolve_groups(self):
+        """Per-pool (factor, reason) via one resolve per distinct VIP."""
+        for resolver in self._resolvers:
+            resolver.begin_tick()
+        group_results = []
+        for resolver, vip in self._group_keys:
+            factor, reason, owner = resolver.resolve(vip)
+            group_results.append((factor, reason, owner))
+        factors = []
+        reasons = []
+        for pool, group in zip(self.pools, self._pool_group):
+            factor, reason, owner = group_results[group]
+            if factor > 0.0 and pool.require is not None:
+                if owner is None or not pool.require(owner):
+                    factor, reason = 0.0, "no_route"
+            factors.append(factor)
+            reasons.append(reason)
+        return factors, reasons
+
+    def _draw_jitter(self):
+        """Per-pool demand multipliers; no draws when jitter is off."""
+        if not self.jitter:
+            return None
+        if self._jitter_rng is None:
+            self._jitter_rng = self.rng("demand")
+        spread = self.jitter
+        rng = self._jitter_rng
+        return [1.0 + spread * (2.0 * rng.random() - 1.0) for _ in self.pools]
+
+    def _advance_numpy(self, factors, jitters):
+        raw = self._demand * self.tick
+        if jitters is not None:
+            raw = raw * _numpy.array(jitters, dtype=_numpy.float64)
+        raw = raw + self._carry
+        offered_f = _numpy.floor(raw)
+        self._carry = raw - offered_f
+        served_f = _numpy.floor(offered_f * _numpy.array(factors, dtype=_numpy.float64))
+        offered = offered_f.astype(_numpy.int64)
+        served = served_f.astype(_numpy.int64)
+        self._c_offered += offered
+        self._c_served += served
+        return offered, served
+
+    def _advance_python(self, factors, jitters):
+        # The scalar mirror of _advance_numpy: identical float64 ops in
+        # identical element order, so both backends produce bit-equal
+        # carries and counts from the same seed.
+        tick = self.tick
+        carry = self._carry
+        demand = self._demand
+        c_offered = self._c_offered
+        c_served = self._c_served
+        offered = [0] * len(self.pools)
+        served = [0] * len(self.pools)
+        for index in range(len(self.pools)):
+            raw = demand[index] * tick
+            if jitters is not None:
+                raw = raw * jitters[index]
+            raw = raw + carry[index]
+            offered_i = math.floor(raw)
+            carry[index] = raw - offered_i
+            served_i = math.floor(offered_i * factors[index])
+            offered[index] = offered_i
+            served[index] = served_i
+            c_offered[index] += offered_i
+            c_served[index] += served_i
+        return offered, served
+
+    def _account(self, offered, served, reasons):
+        """Totals, per-reason metrics, and per-VIP loss trace records."""
+        offered_total = 0
+        served_total = 0
+        lost_groups = {}
+        group_totals = {}
+        for index, group in enumerate(self._pool_group):
+            offered_i = int(offered[index])
+            if not offered_i:
+                continue
+            served_i = int(served[index])
+            offered_total += offered_i
+            served_total += served_i
+            entry = group_totals.get(group)
+            if entry is None:
+                group_totals[group] = entry = [0, 0]
+            entry[0] += offered_i
+            entry[1] += served_i
+            lost_i = offered_i - served_i
+            if lost_i:
+                reason = reasons[index]
+                if reason is None:
+                    reason = "degraded"
+                self.lost_by_reason[reason] = (
+                    self.lost_by_reason.get(reason, 0) + lost_i
+                )
+                pool = self.pools[index]
+                pool.lost_by_reason[reason] = (
+                    pool.lost_by_reason.get(reason, 0) + lost_i
+                )
+                counter = self._m_lost.get(reason)
+                if counter is None:
+                    counter = self.sim.metrics.counter(
+                        "flow.requests_lost", node=self.name, reason=reason
+                    )
+                    self._m_lost[reason] = counter
+                counter.inc(lost_i)
+                lost_groups.setdefault(group, reason)
+        self.requests_offered += offered_total
+        self.requests_served += served_total
+        self.requests_lost += offered_total - served_total
+        if offered_total:
+            self._m_offered.inc(offered_total)
+        if served_total:
+            self._m_served.inc(served_total)
+        for group in sorted(lost_groups):
+            group_offered, group_served = group_totals[group]
+            _resolver, vip = self._group_keys[group]
+            self.trace(
+                "flow",
+                "loss",
+                vip=str(vip),
+                offered=group_offered,
+                served=group_served,
+                lost=group_offered - group_served,
+                reason=lost_groups[group],
+            )
+
+    # ------------------------------------------------------------------
+    # read side
+
+    def reset_counters(self):
+        """Zero every request total (carries and tick phase survive).
+
+        Call after the cluster settles to scope totals to the
+        measurement window — boot-time churn loss is real but is not
+        part of a failover's request bill.
+        """
+        self._flush_carry()
+        self.ticks = 0
+        self.requests_offered = 0
+        self.requests_served = 0
+        self.requests_lost = 0
+        self.lost_by_reason = {}
+        for pool in self.pools:
+            pool.reset_counters()
+        if self._compiled:
+            n = len(self.pools)
+            if self.use_numpy:
+                self._c_offered = _numpy.zeros(n, dtype=_numpy.int64)
+                self._c_served = _numpy.zeros(n, dtype=_numpy.int64)
+            else:
+                self._c_offered = [0] * n
+                self._c_served = [0] * n
+            self._base_offered = [0] * n
+            self._base_served = [0] * n
+
+    def goodput_pct(self):
+        """Served fraction of offered requests so far, in percent."""
+        if not self.requests_offered:
+            return None
+        return 100.0 * self.requests_served / self.requests_offered
+
+    def totals(self):
+        """JSON-stable engine totals (integers, sorted reasons)."""
+        return {
+            "ticks": self.ticks,
+            "users": self.total_users(),
+            "offered": self.requests_offered,
+            "served": self.requests_served,
+            "lost": self.requests_lost,
+            "lost_by_reason": {
+                reason: self.lost_by_reason[reason]
+                for reason in sorted(self.lost_by_reason)
+            },
+        }
+
+    def fingerprint(self):
+        """Totals plus per-pool state — the replay-comparison artifact."""
+        self._flush_carry()
+        payload = self.totals()
+        payload["tick"] = self.tick
+        payload["pools"] = [pool.to_dict() for pool in self.pools]
+        return payload
+
+    def __repr__(self):
+        return "FlowEngine({}, {} pools, {} users, tick={})".format(
+            self.name, len(self.pools), self.total_users(), self.tick
+        )

@@ -75,6 +75,23 @@ class GilbertElliott:
             return True
         return False
 
+    def expected_loss(self):
+        """Steady-state per-frame loss probability (closed form, no RNG).
+
+        The stationary distribution of the two-state chain puts
+        ``π_bad = g2b / (g2b + b2g)`` weight on BAD; the expected loss
+        is the state losses weighted by it. The flow engine uses this
+        to scale goodput deterministically — averaging over the chain
+        rather than sampling it keeps resolvers draw-free. Degenerate
+        chains (both transition probabilities zero) never leave their
+        current state, so the answer is that state's loss.
+        """
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom <= 0.0:
+            return self.loss_bad if self.bad else self.loss_good
+        pi_bad = self.p_good_to_bad / denom
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
     def describe(self):
         """JSON-compatible parameter dict (for traces and fault logs)."""
         return {

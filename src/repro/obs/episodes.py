@@ -72,6 +72,8 @@ class FailoverEpisode:
         "last_arp_time",
         "arp_announcements",
         "client_recovery_time",
+        "flow_offered",
+        "flow_served",
     )
 
     def __init__(self, index, trigger):
@@ -94,6 +96,8 @@ class FailoverEpisode:
         self.last_arp_time = None
         self.arp_announcements = 0
         self.client_recovery_time = None
+        self.flow_offered = 0
+        self.flow_served = 0
 
     # ------------------------------------------------------------------
 
@@ -125,6 +129,23 @@ class FailoverEpisode:
     def complete(self):
         """Converged *and* at least one VIP moved (a true fail-over)."""
         return self.converged and self.first_acquire_time is not None
+
+    @property
+    def requests_lost(self):
+        """Flow-plane requests lost across the episode's impacted ticks."""
+        return self.flow_offered - self.flow_served
+
+    @property
+    def goodput_pct(self):
+        """Served percentage over impacted ticks (None without flow loss).
+
+        Only lossy ticks produce flow records, so this is goodput *while
+        the episode was hurting traffic* — 0.0 for a hard blackhole,
+        intermediate for degraded modes — not goodput over wall time.
+        """
+        if not self.flow_offered:
+            return None
+        return 100.0 * self.flow_served / self.flow_offered
 
     def _from_victim(self, source):
         return self.victim is not None and _source_host(source) == self.victim
@@ -163,6 +184,11 @@ class FailoverEpisode:
         elif category == "workload" and event == "server_change":
             if self.client_recovery_time is None:
                 self.client_recovery_time = record.time
+        elif category == "flow" and event == "loss":
+            # The flow engine emits one record per (VIP, tick) with
+            # lost > 0, so these sums cover exactly the impacted ticks.
+            self.flow_offered += record.details.get("offered", 0)
+            self.flow_served += record.details.get("served", 0)
 
     # ------------------------------------------------------------------
 
@@ -226,6 +252,8 @@ class FailoverEpisode:
             "phases": self.phase_durations(),
             "acquired": [[slot, host] for slot, host in self.acquired],
             "arp_announcements": self.arp_announcements,
+            "requests_lost": self.requests_lost,
+            "goodput_pct": _round(self.goodput_pct),
         }
 
     def __repr__(self):

@@ -102,6 +102,30 @@ def test_stop_probing_halts_requests():
     assert probe.requests_sent == sent
 
 
+def test_malformed_requests_are_counted_not_dropped_silently():
+    sim, lan, server_host, server, client_host = build()
+    client_host.send_udp("not-a-tuple", "10.0.0.1", 8080, src_port=9999)
+    client_host.send_udp((), "10.0.0.1", 8080, src_port=9999)
+    client_host.send_udp(("req",), "10.0.0.1", 8080, src_port=9999)
+    client_host.send_udp(("other", 1), "10.0.0.1", 8080, src_port=9999)
+    client_host.send_udp(("req", 1), "10.0.0.1", 8080, src_port=9999)
+    sim.run_until_idle()
+    assert server.requests_malformed == 4
+    assert server.requests_served == 1
+    totals = sim.metrics.totals()
+    assert totals["workload.requests_malformed"] == 4
+    assert totals["workload.requests_served"] == 1
+
+
+def test_probe_interval_is_configurable():
+    sim, lan, server_host, server, client_host = build()
+    probe = ProbeClient(client_host, "10.0.0.1", interval=0.1)
+    assert probe.interval == 0.1
+    probe.start()
+    sim.run_for(1.0)
+    assert 9 <= probe.requests_sent <= 11
+
+
 def test_no_failover_returns_none():
     sim, lan, server_host, server, client_host = build()
     probe = ProbeClient(client_host, "10.0.0.1")

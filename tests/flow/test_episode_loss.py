@@ -1,0 +1,79 @@
+"""Episode-span request-loss accounting: the tentpole's product metric."""
+
+from repro.apps.webcluster import WebClusterScenario
+from repro.gcs.config import SpreadConfig
+from repro.obs.episodes import extract_episodes, first_complete_episode
+
+
+def build(flow_users=100_000, seed=17):
+    scenario = WebClusterScenario(
+        seed=seed,
+        n_servers=3,
+        n_vips=10,
+        spread_config=SpreadConfig.tuned(),
+        flow_users=flow_users,
+    )
+    scenario.start()
+    scenario.start_probe()
+    assert scenario.run_until_stable()
+    return scenario
+
+
+def test_scripted_vip_kill_reports_nonzero_requests_lost():
+    scenario = build()
+    scenario.flow_engine.reset_counters()
+    fault_time = scenario.sim.now
+    scenario.kill_owner_of(scenario.vips[0], mode="nic_down")
+    scenario.sim.run_for(12.0)
+
+    episode = first_complete_episode(
+        extract_episodes(scenario.sim.trace.records), after=fault_time
+    )
+    assert episode is not None
+    assert episode.requests_lost > 0
+    assert episode.goodput_pct is not None
+    assert episode.to_dict()["requests_lost"] == episode.requests_lost
+    # The engine's own ledger agrees with the episode (one fault, so
+    # every lost request belongs to this episode).
+    assert episode.requests_lost == scenario.flow_engine.totals()["lost"]
+
+
+def test_requests_lost_consistent_with_rates_and_outage_window():
+    # Acceptance check: lost ~= (pools on the victim) x rate x outage,
+    # within one tick of rate. The victim's share of 10 VIPs across 3
+    # servers is 3 or 4 pools of 10_000 users each.
+    scenario = build()
+    scenario.flow_engine.reset_counters()
+    fault_time = scenario.sim.now
+    victim = scenario.owner_of(scenario.vips[0])
+    victim_pools = sum(
+        1 for vip in scenario.vips if victim.host.owns_ip(vip)
+    )
+    scenario.kill_owner_of(scenario.vips[0], mode="nic_down")
+    scenario.sim.run_for(12.0)
+
+    episode = first_complete_episode(
+        extract_episodes(scenario.sim.trace.records), after=fault_time
+    )
+    outage = episode.phase_durations()["client_recovery"]
+    assert outage is not None and outage > 0
+    affected_users = victim_pools * 10_000
+    expected = affected_users * 1.0 * outage
+    tick_of_rate = affected_users * 1.0 * scenario.flow_engine.tick
+    assert abs(episode.requests_lost - expected) <= expected * 0.25 + tick_of_rate
+
+
+def test_clean_run_reports_zero_requests_lost():
+    scenario = build()
+    scenario.flow_engine.reset_counters()
+    mark = scenario.sim.now
+    scenario.sim.run_for(10.0)
+    assert scenario.flow_engine.totals()["lost"] == 0
+    episodes = [
+        e
+        for e in extract_episodes(scenario.sim.trace.records)
+        if e.trigger_time >= mark
+    ]
+    assert all(e.requests_lost == 0 for e in episodes)
+    # No-flow-loss episodes have no goodput sample at all.
+    assert all(e.goodput_pct is None for e in episodes)
