@@ -72,6 +72,22 @@ DEFAULT_RANDOM_EXEMPT = ("repro/sim/rng.py",)
 # multi-core template ROADMAP item 5 generalizes).
 DEFAULT_SHARD_SCOPE = DEFAULT_SIM_RESTRICTED + ("repro/check",)
 
+# Edge infrastructure inside the substrate tree: modules that sit on
+# the process boundary by design and therefore carry a *scoped*
+# SIM001/SHARD001 allowance, each with its reason on record. Scoped
+# means the whole allowance names one file; everything else under
+# repro/sim stays fully restricted, so a stray `import threading` two
+# files over still fails the lint gate.
+DEFAULT_SIM_EDGE = (
+    (
+        "repro/sim/shard/pool.py",
+        "sharded-kernel worker pool: forks whole interpreter processes "
+        "around per-shard Simulations and exchanges only picklable "
+        "envelopes/artifacts over pipes; no simulated state crosses the "
+        "boundary (DESIGN.md §10)",
+    ),
+)
+
 # Attribute names PROTO003 treats as protocol-owned: only the owning
 # object's declared transition code may write them.
 DEFAULT_PROTECTED_FIELDS = (
@@ -94,6 +110,7 @@ class LintConfig:
         "wallclock_exempt",
         "random_exempt",
         "shard_scope",
+        "sim_edge",
         "protected_fields",
         "state_machines",
     )
@@ -105,6 +122,7 @@ class LintConfig:
         wallclock_exempt=DEFAULT_WALLCLOCK_EXEMPT,
         random_exempt=DEFAULT_RANDOM_EXEMPT,
         shard_scope=None,
+        sim_edge=DEFAULT_SIM_EDGE,
         protected_fields=DEFAULT_PROTECTED_FIELDS,
         state_machines=DEFAULT_STATE_MACHINES,
     ):
@@ -121,8 +139,21 @@ class LintConfig:
             else:
                 shard_scope = tuple(sim_restricted)
         self.shard_scope = tuple(shard_scope)
+        self.sim_edge = tuple((suffix, reason) for suffix, reason in sim_edge)
         self.protected_fields = tuple(protected_fields)
         self.state_machines = tuple(state_machines)
+
+    def edge_reason(self, path):
+        """The recorded allowance reason for an edge module, or None.
+
+        SIM001 and SHARD001 consult this before scanning: a path listed
+        in ``sim_edge`` is process-boundary infrastructure whose real
+        concurrency is the point, not a leak.
+        """
+        for suffix, reason in self.sim_edge:
+            if path_matches(path, suffix):
+                return reason
+        return None
 
 
 def path_matches(path, suffix):

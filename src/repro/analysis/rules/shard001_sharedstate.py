@@ -130,6 +130,11 @@ class SharedShardStateRule(Rule):
 
 
 def _in_shard_scope(path, config):
+    if config.edge_reason(path) is not None:
+        # Declared edge infrastructure (config.sim_edge) — e.g. the
+        # sharded-kernel worker pool, whose per-process state is the
+        # mechanism, not a determinism leak.
+        return False
     for prefix in config.shard_scope:
         if path_in_dir(path, prefix) or path_matches(path, prefix):
             return True

@@ -60,6 +60,11 @@ class SubstrateRule(Rule):
             path_in_dir(module.path, prefix) for prefix in restricted
         ):
             return
+        if config.edge_reason(module.path) is not None:
+            # Declared edge infrastructure (config.sim_edge): the module
+            # exists to cross the process boundary, with its reason on
+            # record. The allowance is per-file, never per-directory.
+            return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:

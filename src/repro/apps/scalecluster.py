@@ -20,13 +20,25 @@ binds interfaces and counts moves; the ARP-spoofing/notification
 machinery stays in the faithful tier where clients are modeled.
 """
 
+import functools
+import hashlib
+
 from repro.core.placement import RendezvousMap
 from repro.flow import DirectResolver, FlowEngine, FlowPool
 from repro.gcs.segments import Fleet, SegmentConfig, SegmentNode
+from repro.net.addresses import IPAddress
 from repro.net.fault import FaultInjector
 from repro.net.host import Host
 from repro.net.lan import Lan
+from repro.net.partition import (
+    DEFAULT_INTER_LATENCY,
+    SegmentUplink,
+    ShardPlan,
+    UplinkHost,
+)
 from repro.sim.process import Process
+from repro.sim.shard import ShardedKernel, merge_artifacts
+from repro.sim.shard.merge import view_digest
 from repro.sim.simulation import Simulation
 
 
@@ -41,11 +53,16 @@ class ScaleVipManager(Process):
     that a partitioned minority must drop its addresses.
     """
 
-    def __init__(self, host, lan, placement):
+    def __init__(self, host, lan, placement, member_scope=None):
         super().__init__(host.sim, "svip@{}".format(host.name))
         self.host = host
         self.nic = host.nic_on(lan)
         self.placement = placement
+        # When set, HRW candidates are the view members inside this
+        # scope only — the sharded tier scopes each placement map to
+        # its segment so a VIP never leaves its cell (membership still
+        # travels the whole fleet; only placement is local).
+        self.member_scope = frozenset(member_scope) if member_scope is not None else None
         self.bound = set()
         self.binds = 0
         self.unbinds = 0
@@ -57,8 +74,11 @@ class ScaleVipManager(Process):
         if not self.alive:
             return
         self.view = view
-        if self.host.name in view.members:
-            owned = set(self.placement.owned_index_for(view.members).get(self.host.name, ()))
+        members = view.members
+        if self.member_scope is not None:
+            members = tuple(name for name in members if name in self.member_scope)
+        if self.host.name in members:
+            owned = set(self.placement.owned_index_for(members).get(self.host.name, ()))
         else:
             owned = set()
         for vip in sorted(self.bound - owned):
@@ -281,3 +301,385 @@ class ScaleClusterScenario:
             ],
             "bindings": self.bindings(),
         }
+
+
+# ----------------------------------------------------------------------
+# the sharded tier: the same cluster, partitioned for the parallel kernel
+
+
+#: Parameter defaults for :class:`ScaleShardWorld` /
+#: :class:`ShardedScaleScenario`. Everything is a plain JSON-able
+#: scalar or (time, index) pair list so the dict pickles cheaply to
+#: shard workers and embeds verbatim in artifact metadata.
+SHARD_SCALE_DEFAULTS = {
+    "seed": 0,
+    "n_hosts": 256,
+    "n_vips": 2048,
+    "segment_size": 32,
+    "shards": 1,
+    "inter_latency": DEFAULT_INTER_LATENCY,
+    "horizon": 12.0,
+    "flow_users": 0,
+    "flow_rate": 1.0,
+    "flow_tick": 0.05,
+    "flow_use_numpy": None,
+    "trace_enabled": True,
+    "metrics_enabled": False,
+    "kills": (),
+    "revives": (),
+}
+
+#: Trace categories retained by shard worlds. Deliberately excludes
+#: per-frame plumbing (``arp``, ``ip``) whose details mention
+#: world-local identities like MAC numbers; everything kept here names
+#: only cell-local sources, so records attribute cleanly to cells and
+#: the merged trace is grouping-invariant.
+SHARD_TRACE_CATEGORIES = ("segments", "host", "flow")
+
+
+def _segment_count(n_hosts, segment_size):
+    return (int(n_hosts) + int(segment_size) - 1) // int(segment_size)
+
+
+def _vip_slice(n_vips, n_segments, cell):
+    """(start_index, count) of ``cell``'s contiguous VIP share."""
+    base, extra = divmod(int(n_vips), int(n_segments))
+    start = cell * base + min(cell, extra)
+    return start, base + (1 if cell < extra else 0)
+
+
+def build_scale_shard_world(params, shard_id):
+    """World factory for :class:`repro.sim.shard.ShardedKernel`."""
+    return ScaleShardWorld(params, shard_id)
+
+
+class ScaleShardWorld:
+    """One shard's slice of the partitioned scale cluster.
+
+    Each *cell* is a full LAN segment: its own :class:`Lan` (name
+    ``segNN``), its hosts, their membership daemons, a cell-scoped
+    rendezvous placement over the cell's contiguous VIP share, and —
+    when traffic is on — a cell-local flow engine. Membership is still
+    fleet-wide (leader digests cross cells over the uplink); placement
+    and traffic never leave the cell.
+
+    Everything observable is a pure function of ``params`` and the
+    cell id, never of the shard grouping: RNG streams are keyed by
+    component names, trace categories exclude world-local identities,
+    and all cross-cell frames ride barrier-scheduled envelopes.
+    """
+
+    def __init__(self, params, shard_id):
+        merged = dict(SHARD_SCALE_DEFAULTS)
+        merged.update(params)
+        self.params = merged
+        self.shard_id = int(shard_id)
+        n_hosts = int(merged["n_hosts"])
+        n_vips = int(merged["n_vips"])
+        segment_size = int(merged["segment_size"])
+        n_segments = _segment_count(n_hosts, segment_size)
+        self.plan = ShardPlan(n_segments, merged["shards"], merged["inter_latency"])
+        self.cells = self.plan.cells_of(self.shard_id)
+        trace_enabled = bool(merged["trace_enabled"])
+        self.sim = Simulation(
+            seed=merged["seed"],
+            trace_enabled=trace_enabled,
+            trace_capacity=None,
+            trace_categories=SHARD_TRACE_CATEGORIES if trace_enabled else None,
+            metrics_enabled=bool(merged["metrics_enabled"]),
+        )
+        entries = [
+            (ScaleClusterScenario._host_name(index), ScaleClusterScenario._host_ip(index))
+            for index in range(n_hosts)
+        ]
+        self.fleet = Fleet(entries, segment_size)
+        self.config = SegmentConfig(segment_size=segment_size)
+        self.uplink = SegmentUplink(
+            self.sim,
+            merged["inter_latency"],
+            {
+                IPAddress(ip): self.fleet.segment_of_index(index)
+                for index, (_name, ip) in enumerate(entries)
+            },
+        )
+        all_vips = [ScaleClusterScenario._vip_ip(index) for index in range(n_vips)]
+
+        self._hosts = {}
+        self._nodes = {}
+        self._managers = {}
+        self._cell_indexes = {}
+        self._cell_lan = {}
+        self._cell_placement = {}
+        self._cell_scope = {}
+        self._cell_vips = {}
+        self._cell_engine = {}
+        self._source_cell = {}
+
+        kills = [(float(t), int(i)) for t, i in merged["kills"]]
+        revives = [(float(t), int(i)) for t, i in merged["revives"]]
+
+        for cell in self.cells:
+            lan = Lan(self.sim, "seg{:02d}".format(cell), ScaleClusterScenario.SUBNET)
+            members = self.fleet.segment_members(cell)
+            scope = frozenset(members)
+            start, count = _vip_slice(n_vips, n_segments, cell)
+            cell_vips = all_vips[start : start + count]
+            placement = RendezvousMap(cell_vips)
+            indexes = []
+            self._cell_lan[cell] = lan
+            self._cell_scope[cell] = scope
+            self._cell_placement[cell] = placement
+            self._cell_vips[cell] = cell_vips
+            for name in members:
+                index = self.fleet.index_of[name]
+                indexes.append(index)
+                host = UplinkHost(self.sim, name, self.uplink, cell)
+                host.add_nic(lan, self.fleet.ip_of[name])
+                self.uplink.attach_host(host, self.fleet.ip_of[name])
+                self._hosts[index] = host
+                self._attach(index)
+                self._source_cell[name] = cell
+                self._source_cell["seg@" + name] = cell
+                self._source_cell["svip@" + name] = cell
+            self._cell_indexes[cell] = tuple(indexes)
+
+            engine = None
+            if merged["flow_users"]:
+                resolver = DirectResolver(
+                    functools.partial(self._iter_cell_bindings, cell), lan=lan
+                )
+                engine = FlowEngine(
+                    self.sim,
+                    resolver=resolver,
+                    tick=merged["flow_tick"],
+                    name="seg{:02d}".format(cell),
+                    use_numpy=merged["flow_use_numpy"],
+                )
+                share, remainder = divmod(int(merged["flow_users"]), n_vips)
+                for offset, vip in enumerate(cell_vips):
+                    global_index = start + offset
+                    users = share + (1 if global_index < remainder else 0)
+                    if users:
+                        engine.add_pool(
+                            FlowPool(
+                                "pool-{:04d}".format(global_index),
+                                vip,
+                                users,
+                                rate=merged["flow_rate"],
+                            )
+                        )
+                self._source_cell[engine.name] = cell
+            self._cell_engine[cell] = engine
+
+            # Faults are pre-scheduled at build time (the fixed-horizon
+            # script keeps run control grouping-invariant), per cell in
+            # (time, index) order so sequence numbers are too.
+            for time, index in sorted(k for k in kills if self._cell_of_index(k[1]) == cell):
+                self.sim.at(time, self._kill, index)
+            for time, index in sorted(r for r in revives if self._cell_of_index(r[1]) == cell):
+                self.sim.at(time, self._revive, index)
+
+        for cell in self.cells:
+            for index in self._cell_indexes[cell]:
+                self._nodes[index].start()
+            if self._cell_engine[cell] is not None:
+                self._cell_engine[cell].start()
+
+    def _cell_of_index(self, index):
+        return self.fleet.segment_of_index(int(index))
+
+    def _attach(self, index):
+        host = self._hosts[index]
+        cell = self._cell_of_index(index)
+        manager = ScaleVipManager(
+            host,
+            self._cell_lan[cell],
+            self._cell_placement[cell],
+            member_scope=self._cell_scope[cell],
+        )
+        node = SegmentNode(
+            host,
+            self._cell_lan[cell],
+            index,
+            self.fleet,
+            self.config,
+            on_global_view=manager.apply_view,
+        )
+        self._managers[index] = manager
+        self._nodes[index] = node
+        return node
+
+    def _iter_cell_bindings(self, cell):
+        for index in self._cell_indexes[cell]:
+            manager = self._managers[index]
+            if manager.alive:
+                for vip in manager.bound:
+                    yield vip, manager.host
+
+    def _kill(self, index):
+        self._hosts[index].crash()
+
+    def _revive(self, index):
+        self._hosts[index].recover()
+        self._attach(index).start()
+
+    # ------------------------------------------------------------------
+    # the kernel's world protocol
+
+    def next_event_time(self):
+        return self.sim.scheduler.next_event_time()
+
+    def advance(self, until, inclusive):
+        return self.sim.scheduler.run(until=until, inclusive=inclusive)
+
+    def inject(self, envelopes):
+        self.uplink.inject(envelopes)
+
+    def drain_outbound(self):
+        return self.uplink.drain_outbound()
+
+    def artifacts(self):
+        """This world's share of the run artifact (see shard.merge)."""
+        cells_out = {}
+        for cell in self.cells:
+            indexes = self._cell_indexes[cell]
+            live_nodes = [
+                self._nodes[index] for index in indexes if self._nodes[index].alive
+            ]
+            bindings = []
+            binds = unbinds = 0
+            for index in indexes:
+                manager = self._managers[index]
+                if manager.alive:
+                    binds += manager.binds
+                    unbinds += manager.unbinds
+                    for vip in manager.bound:
+                        bindings.append((str(vip), manager.host.name))
+            bindings.sort()
+            owners = {}
+            for vip, name in bindings:
+                owners.setdefault(vip, []).append(name)
+            cell_vips = [str(vip) for vip in self._cell_vips[cell]]
+            engine = self._cell_engine[cell]
+            cells_out[cell] = {
+                "live": sorted(node.node_name for node in live_nodes),
+                "views": [
+                    list(view)
+                    for view in sorted(
+                        {
+                            (node.global_view.version, view_digest(node.global_view.members))
+                            for node in live_nodes
+                        }
+                    )
+                ],
+                "n_vips": len(cell_vips),
+                "uncovered": sum(1 for vip in cell_vips if vip not in owners),
+                "duplicated": sum(1 for names in owners.values() if len(names) > 1),
+                "binds": binds,
+                "unbinds": unbinds,
+                "bindings_sha256": hashlib.sha256(
+                    ";".join("=".join(pair) for pair in bindings).encode("utf-8")
+                ).hexdigest(),
+                "flow": engine.totals() if engine is not None else None,
+                "uplink": self.uplink.counters(cell),
+            }
+        trace_out = {cell: [] for cell in self.cells}
+        for record in self.sim.trace.records:
+            cell = self._source_cell[record.source]
+            details = ",".join(
+                "{}={!r}".format(key, record.details[key])
+                for key in sorted(record.details)
+            )
+            trace_out[cell].append(
+                (
+                    record.time,
+                    "{!r}|{}|{}|{}|{}".format(
+                        record.time, record.category, record.source, record.event, details
+                    ),
+                )
+            )
+        metrics = self.sim.metrics.totals() if self.params["metrics_enabled"] else {}
+        return {
+            "events_fired": self.sim.scheduler.events_fired,
+            "now": self.sim.now,
+            "cells": cells_out,
+            "trace": trace_out,
+            "metrics": metrics,
+        }
+
+
+class ShardedScaleScenario:
+    """Boot+faults+settle on the partitioned cluster, serial or sharded.
+
+    A fixed-horizon script: faults are scheduled up front and the run
+    always ends exactly at ``horizon`` — no adaptive settle polling,
+    so run control never depends on the shard grouping. ``shards``
+    picks the partition width (1 = one world, the serial kernel);
+    ``workers`` ≥ 2 forks one warm worker process per shard. The
+    returned artifact is byte-identical for every (shards, workers)
+    choice — :meth:`run` of a ``shards=1, workers=0`` scenario is the
+    reference the parity suite compares against.
+    """
+
+    FACTORY = "repro.apps.scalecluster:build_scale_shard_world"
+
+    def __init__(self, workers=0, **params):
+        merged = dict(SHARD_SCALE_DEFAULTS)
+        unknown = set(params) - set(SHARD_SCALE_DEFAULTS)
+        if unknown:
+            raise TypeError("unknown parameters: {}".format(sorted(unknown)))
+        merged.update(params)
+        n_hosts = int(merged["n_hosts"])
+        if n_hosts > 4096:
+            raise ValueError("n_hosts exceeds the /16 host-address plan")
+        n_segments = _segment_count(n_hosts, merged["segment_size"])
+        horizon = float(merged["horizon"])
+        merged["kills"] = sorted((float(t), int(i)) for t, i in merged["kills"])
+        merged["revives"] = sorted((float(t), int(i)) for t, i in merged["revives"])
+        for time, index in merged["kills"] + merged["revives"]:
+            if not 0.0 < time < horizon:
+                raise ValueError("fault time {} outside (0, horizon)".format(time))
+            if not 0 <= index < n_hosts:
+                raise ValueError("fault host index {} out of range".format(index))
+        self.params = merged
+        self.horizon = horizon
+        self.workers = int(workers)
+        self.plan = ShardPlan(n_segments, merged["shards"], merged["inter_latency"])
+        self.artifact = None
+        self.epochs = 0
+        self.workers_used = 0
+
+    def run(self):
+        """Execute the script; returns the merged run artifact."""
+        kernel = ShardedKernel(self.plan, self.FACTORY, self.params, workers=self.workers)
+        try:
+            kernel.start()
+            kernel.run(self.horizon)
+            worlds = kernel.collect()
+        finally:
+            kernel.close()
+        self.epochs = kernel.epochs
+        self.workers_used = kernel.workers
+        meta = {
+            key: self.params[key]
+            for key in (
+                "seed",
+                "n_hosts",
+                "n_vips",
+                "segment_size",
+                "inter_latency",
+                "horizon",
+                "flow_users",
+                "flow_rate",
+                "flow_tick",
+                "trace_enabled",
+                "metrics_enabled",
+            )
+        }
+        # The fault script is part of the artifact's identity; the
+        # shard/worker split deliberately is not — parity means those
+        # knobs cannot show up in the bytes.
+        meta["kills"] = [list(pair) for pair in self.params["kills"]]
+        meta["revives"] = [list(pair) for pair in self.params["revives"]]
+        self.artifact = merge_artifacts(worlds, meta=meta)
+        return self.artifact

@@ -13,18 +13,25 @@ file (``BENCH_kernel.json``) whose schema is::
         {
           "rev": "<git short rev or 'unknown'>",
           "mode": "quick" | "full" | "scale",
+          "host": {"cpus": 8},        # os.cpu_count() where the run ran
           "benches": {
             "<name>": {
               "median_s": 0.123456,   # median wall seconds per repeat
               "per_s": 162000.0,      # units processed per second
               "unit": "events",       # events | frames | trials
               "units": 20000,         # units per repeat
-              "samples": [..]         # every repeat's wall seconds
+              "samples": [..],        # every repeat's wall seconds
+              "workers": 4            # only for multi-process benches
             }, ...
           }
         }, ...
       ]
     }
+
+The ``host.cpus`` / ``workers`` metadata makes parallel-kernel numbers
+comparable across machines: a ``kernel_sharded_n256`` median from a
+1-core container and one from an 8-core runner are different
+experiments, and the trajectory now says which was which.
 
 Comparison is always against the *most recent previous run with the
 same mode* (quick numbers are never compared to full numbers): a bench
@@ -33,6 +40,7 @@ whose median slows down by more than the threshold is a regression and
 """
 
 import json
+import os
 import time
 
 from repro.bench.suite import SCALES, bench_names, build_workload
@@ -69,21 +77,34 @@ def _median(values):
 class BenchRun:
     """One suite execution: per-bench medians plus run metadata."""
 
-    def __init__(self, mode, rev, benches):
+    def __init__(self, mode, rev, benches, host=None):
         self.mode = mode
         self.rev = rev
         self.benches = benches  # name -> result dict (schema above)
+        self.host = dict(host) if host else {}
 
     def to_dict(self):
-        return {"rev": self.rev, "mode": self.mode, "benches": self.benches}
+        return {
+            "rev": self.rev,
+            "mode": self.mode,
+            "host": self.host,
+            "benches": self.benches,
+        }
 
     @classmethod
     def from_dict(cls, data):
-        return cls(data.get("mode", "full"), data.get("rev", "unknown"), data["benches"])
+        return cls(
+            data.get("mode", "full"),
+            data.get("rev", "unknown"),
+            data["benches"],
+            host=data.get("host"),
+        )
 
     def format(self):
         lines = [
-            "repro bench [{}] rev={}".format(self.mode, self.rev),
+            "repro bench [{}] rev={} cpus={}".format(
+                self.mode, self.rev, self.host.get("cpus", "?")
+            ),
             "  {:<22} {:>12} {:>16} {:>8}".format("bench", "median", "rate", "units"),
         ]
         for name in sorted(self.benches):
@@ -96,29 +117,40 @@ class BenchRun:
         return "\n".join(lines)
 
 
-def run_bench(name, mode="quick", repeats=None):
+def run_bench(name, mode="quick", repeats=None, overrides=None):
     """Time one bench; returns its result dict."""
     repeats = repeats or DEFAULT_REPEATS[mode]
     samples = []
     units = 0
+    scale = {}
+    unit = None
     for _ in range(repeats):
-        run, unit, _scale = build_workload(name, mode)
+        run, unit, scale = build_workload(name, mode, overrides=overrides)
         started = time.perf_counter()
         units = run()
         samples.append(round(time.perf_counter() - started, 6))
     median = _median(samples)
     per_s = units / median if median > 0 else 0.0
-    return {
+    result = {
         "median_s": round(median, 6),
         "per_s": round(per_s, 1),
         "unit": unit,
         "units": units,
         "samples": samples,
     }
+    if "workers" in scale:
+        # How many processes did the work — without it a parallel
+        # median is meaningless next to host.cpus.
+        result["workers"] = scale["workers"]
+    return result
 
 
-def run_suite(mode="quick", names=None, repeats=None, progress=None):
-    """Run the whole suite (or ``names``); returns a :class:`BenchRun`."""
+def run_suite(mode="quick", names=None, repeats=None, progress=None, overrides=None):
+    """Run the whole suite (or ``names``); returns a :class:`BenchRun`.
+
+    ``overrides`` maps bench name -> scale-dict overrides for that
+    bench (see :func:`repro.bench.suite.build_workload`).
+    """
     selected = list(names) if names else bench_names(mode)
     unknown = sorted(set(selected) - set(SCALES[mode]))
     if unknown:
@@ -127,8 +159,13 @@ def run_suite(mode="quick", names=None, repeats=None, progress=None):
     for name in selected:
         if progress is not None:
             progress("running {} ...".format(name))
-        benches[name] = run_bench(name, mode=mode, repeats=repeats)
-    return BenchRun(mode, _git_rev(), benches)
+        benches[name] = run_bench(
+            name,
+            mode=mode,
+            repeats=repeats,
+            overrides=(overrides or {}).get(name),
+        )
+    return BenchRun(mode, _git_rev(), benches, host={"cpus": os.cpu_count() or 1})
 
 
 # ----------------------------------------------------------------------

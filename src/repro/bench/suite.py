@@ -57,6 +57,32 @@ SCALES = {
             "kills": 2,
         },
         "balance_n1024": {"members": 1024, "slots": 4096, "changes": 8},
+        # Serial-vs-sharded kernel pair: the same n256 boot+kill+settle
+        # script on one scheduler and partitioned across 4 worker
+        # processes. Identical workloads by construction (the sharded
+        # run's merged artifact is byte-identical — `repro check
+        # --shards` proves it), so their median ratio *is* the kernel
+        # speedup. Single-sample wall times on a loaded CI box are
+        # noisy; the 25% gate judges each bench against its own
+        # trajectory, never the pair against each other.
+        "kernel_serial_n256": {
+            "n_hosts": 256,
+            "n_vips": 2048,
+            "segment_size": 32,
+            "shards": 1,
+            "workers": 0,
+            "horizon": 10.0,
+            "flow_users": 100_000,
+        },
+        "kernel_sharded_n256": {
+            "n_hosts": 256,
+            "n_vips": 2048,
+            "segment_size": 32,
+            "shards": 4,
+            "workers": 4,
+            "horizon": 10.0,
+            "flow_users": 100_000,
+        },
     },
 }
 
@@ -300,6 +326,53 @@ def make_balance_n1024(scale):
     return run, "assignments"
 
 
+def _make_shard_kernel(scale):
+    """Shared body of the serial/sharded n256 kernel benches.
+
+    One fixed-horizon segmented-cluster script — boot, one leader kill
+    at t=4, revive at t=7, 100k flow users, settle to the horizon — run
+    through :class:`~repro.apps.scalecluster.ShardedScaleScenario` with
+    the shard/worker split the scale dict names. Build cost (the fork
+    of warm workers included) is deliberately inside the timed run:
+    that is the wall-clock a sharded campaign pays per scenario.
+    """
+    from repro.apps.scalecluster import ShardedScaleScenario
+
+    params = dict(
+        seed=11,
+        n_hosts=scale["n_hosts"],
+        n_vips=scale["n_vips"],
+        segment_size=scale["segment_size"],
+        shards=scale["shards"],
+        horizon=scale["horizon"],
+        flow_users=scale["flow_users"],
+        kills=((4.0, 17),),
+        revives=((7.0, 17),),
+        trace_enabled=False,
+        metrics_enabled=False,
+    )
+    workers = scale["workers"]
+
+    def run():
+        scenario = ShardedScaleScenario(workers=workers, **params)
+        artifact = scenario.run()
+        if not artifact["converged"]:
+            raise RuntimeError("sharded kernel bench did not reconverge")
+        return artifact["events_fired"]
+
+    return run, "events"
+
+
+def make_kernel_serial_n256(scale):
+    """n256 boot+kill+settle on the serial kernel (the speedup baseline)."""
+    return _make_shard_kernel(scale)
+
+
+def make_kernel_sharded_n256(scale):
+    """The same n256 script across 4 shard worker processes."""
+    return _make_shard_kernel(scale)
+
+
 def make_flow_engine_ticks(scale):
     """Flow-plane tick throughput at 10^5/10^6 users.
 
@@ -392,6 +465,8 @@ BENCHES = {
     "lint_full_project": make_lint_full_project,
     "membership_change_n256": make_membership_change_n256,
     "balance_n1024": make_balance_n1024,
+    "kernel_serial_n256": make_kernel_serial_n256,
+    "kernel_sharded_n256": make_kernel_sharded_n256,
 }
 
 
@@ -407,8 +482,15 @@ def bench_names(mode=None):
     return sorted(SCALES[mode])
 
 
-def build_workload(name, mode="quick"):
-    """Instantiate one bench: ``(run, unit, scale_dict)``."""
-    scale = SCALES[mode][name]
+def build_workload(name, mode="quick", overrides=None):
+    """Instantiate one bench: ``(run, unit, scale_dict)``.
+
+    ``overrides`` (a dict) is merged over the mode's scale dict — how
+    ``repro bench --shards N`` retargets the sharded kernel bench
+    without touching the committed workload sizes.
+    """
+    scale = dict(SCALES[mode][name])
+    if overrides:
+        scale.update(overrides)
     run, unit = BENCHES[name](scale)
     return run, unit, scale

@@ -21,8 +21,11 @@ pairs against distinct victims, never more than half of any segment at
 once, so the leader-succession chain always has a survivor.
 """
 
-from repro.apps.scalecluster import ScaleClusterScenario
+import time as _time
+
+from repro.apps.scalecluster import ScaleClusterScenario, ShardedScaleScenario
 from repro.sim.rng import RngRegistry
+from repro.sim.shard.merge import artifact_bytes
 
 SCALE_SPEC_DEFAULTS = {
     "n_hosts": 64,
@@ -113,6 +116,98 @@ def run_scale_trial(spec):
     if not scenario.settle(timeout=spec["settle_timeout"]):
         return _scale_result(spec, scenario, "no_convergence")
     return _scale_result(spec, scenario, "pass")
+
+
+SHARD_PARITY_DEFAULTS = {
+    "n_hosts": 256,
+    "n_vips": 2048,
+    "segment_size": 32,
+    "shards": 4,
+    "workers": 4,
+    "n_faults": 2,
+    "fault_spacing": 3.0,
+    "revive_after": 4.0,
+    "flow_users": 100000,
+    "trace_enabled": True,
+    "metrics_enabled": True,
+}
+
+
+def make_shard_spec(seed, **overrides):
+    """Build a shard-parity spec dict (see SHARD_PARITY_DEFAULTS)."""
+    spec = dict(SHARD_PARITY_DEFAULTS)
+    unknown = set(overrides) - set(SHARD_PARITY_DEFAULTS)
+    if unknown:
+        raise ValueError("unknown shard spec fields: {}".format(sorted(unknown)))
+    spec.update(overrides)
+    spec["seed"] = int(seed)
+    return spec
+
+
+def run_shard_parity_trial(spec):
+    """Serial-vs-sharded replay of one fixed-horizon scale scenario.
+
+    Runs the identical :class:`ShardedScaleScenario` script twice —
+    once on the serial kernel (``shards=1, workers=0``), once
+    partitioned across ``spec["shards"]`` shards with
+    ``spec["workers"]`` worker processes — and compares the two merged
+    artifacts byte-for-byte. Verdicts: ``pass``,
+    ``parity_mismatch``, ``no_convergence``. The two artifact dicts
+    ride along in the result so callers (the CLI, the CI
+    ``shard-parity`` job) can write them out and ``cmp`` the files.
+    """
+    victims = _pick_victims(spec)
+    spacing = spec["fault_spacing"]
+    kills = [(spacing * (order + 1), victim) for order, victim in enumerate(victims)]
+    revives = [(t + spec["revive_after"], victim) for t, victim in kills]
+    last_fault = max([t for t, _ in revives] or [0.0])
+    horizon = last_fault + 2 * spec["revive_after"]
+    common = dict(
+        seed=spec["seed"],
+        n_hosts=spec["n_hosts"],
+        n_vips=spec["n_vips"],
+        segment_size=spec["segment_size"],
+        horizon=horizon,
+        kills=kills,
+        revives=revives,
+        flow_users=spec["flow_users"],
+        trace_enabled=spec["trace_enabled"],
+        metrics_enabled=spec["metrics_enabled"],
+    )
+    serial = ShardedScaleScenario(shards=1, workers=0, **common)
+    started = _time.perf_counter()
+    serial_artifact = serial.run()
+    serial_wall = _time.perf_counter() - started
+    sharded = ShardedScaleScenario(
+        shards=spec["shards"], workers=spec["workers"], **common
+    )
+    started = _time.perf_counter()
+    sharded_artifact = sharded.run()
+    sharded_wall = _time.perf_counter() - started
+
+    parity = artifact_bytes(serial_artifact) == artifact_bytes(sharded_artifact)
+    if not parity:
+        verdict = "parity_mismatch"
+    elif not serial_artifact["converged"]:
+        verdict = "no_convergence"
+    else:
+        verdict = "pass"
+    return {
+        "verdict": verdict,
+        "parity": parity,
+        "seed": spec["seed"],
+        "n_hosts": spec["n_hosts"],
+        "shards": spec["shards"],
+        "workers": sharded.workers_used,
+        "epochs": sharded.epochs,
+        "horizon": horizon,
+        "events_fired": serial_artifact["events_fired"],
+        "serial_wall_s": round(serial_wall, 4),
+        "sharded_wall_s": round(sharded_wall, 4),
+        "speedup": round(serial_wall / sharded_wall, 3) if sharded_wall else None,
+        "serial_artifact": serial_artifact,
+        "sharded_artifact": sharded_artifact,
+    }
 
 
 def _scale_result(spec, scenario, verdict, persistent=()):

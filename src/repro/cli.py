@@ -120,6 +120,14 @@ def build_parser():
     check.add_argument(
         "--repeat", type=int, default=1, help="replay the artifact N times"
     )
+    check.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="serial-vs-sharded parity trial instead of a campaign: run one "
+        "n256 scale scenario on the serial kernel and again partitioned "
+        "across N shard worker processes (pair with --workers N), write "
+        "both merged artifacts into --artifacts, and exit nonzero unless "
+        "they are byte-identical",
+    )
 
     flow = sub.add_parser(
         "flow", help="flow-level fail-over run: requests lost at 10^5-10^7 users"
@@ -175,6 +183,12 @@ def build_parser():
     bench.add_argument(
         "--scale", action="store_true",
         help="the 256-1024-host scale-tier benches (separate trajectory mode)",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run only the serial/sharded n256 kernel pair (scale mode), "
+        "with the sharded bench at N shard worker processes; the "
+        "committed trajectory uses the default N=4",
     )
     bench.add_argument(
         "--output", default="BENCH_kernel.json", metavar="FILE",
@@ -297,7 +311,36 @@ def _run_availability(args, out):
     out(experiment.format(trials=args.trials))
 
 
+def _run_shard_parity(args, out):
+    import os
+
+    from repro.check.scaletrial import make_shard_spec, run_shard_parity_trial
+    from repro.sim.shard.merge import artifact_bytes
+
+    spec = make_shard_spec(args.seed, shards=args.shards, workers=args.workers)
+    out(
+        "shard parity: n{} scale scenario, serial vs {} shards "
+        "({} workers) ...".format(spec["n_hosts"], spec["shards"], spec["workers"])
+    )
+    result = run_shard_parity_trial(spec)
+    os.makedirs(args.artifacts, exist_ok=True)
+    for tag in ("serial", "sharded"):
+        path = os.path.join(args.artifacts, "shard-parity-{}.json".format(tag))
+        with open(path, "wb") as handle:
+            handle.write(artifact_bytes(result["{}_artifact".format(tag)]))
+            handle.write(b"\n")
+        out("  wrote {}".format(path))
+    out(
+        "  verdict={verdict} epochs={epochs} events={events_fired} "
+        "serial={serial_wall_s}s sharded={sharded_wall_s}s "
+        "speedup=x{speedup}".format(**result)
+    )
+    return 0 if result["verdict"] == "pass" else 1
+
+
 def _run_check(args, out):
+    if args.shards is not None:
+        return _run_shard_parity(args, out)
     if args.replay is not None:
         code = 0
         for _ in range(max(args.repeat, 1)):
@@ -420,7 +463,21 @@ def _run_bench(args, out):
     names = None
     if args.benches:
         names = [name for name in args.benches.split(",") if name]
-    current = run_suite(mode=mode, names=names, repeats=args.repeat, progress=out)
+    overrides = None
+    if args.shards is not None:
+        if args.quick:
+            out("--quick and --shards are mutually exclusive")
+            return 2
+        mode = "scale"
+        if names is None:
+            names = ["kernel_serial_n256", "kernel_sharded_n256"]
+        overrides = {
+            "kernel_sharded_n256": {"shards": args.shards, "workers": args.shards}
+        }
+    current = run_suite(
+        mode=mode, names=names, repeats=args.repeat, progress=out,
+        overrides=overrides,
+    )
     out(current.format())
     runs = load_trajectory(args.output)
     code = 0

@@ -25,10 +25,12 @@ import heapq
 from repro.sim.errors import SchedulerError
 from repro.sim.events import Event
 
-# Compact when at least this many dead entries have accumulated AND
-# they make up half the heap. The floor keeps tiny simulations from
-# re-heapifying constantly; the ratio bounds wasted heap space (and
-# per-operation log cost) at 2x the live size.
+# Compact when the dead-entry count reaches ``max(64, live // 8)``.
+# The absolute floor keeps tiny simulations from re-heapifying
+# constantly; the adaptive term bounds wasted heap space (and
+# per-operation log cost) at 12.5% of the live size on large-N shard
+# queues while keeping compaction amortized O(1): each O(live + dead)
+# rebuild is paid for by at least live/8 preceding cancels.
 _COMPACT_MIN_CANCELLED = 64
 
 
@@ -129,25 +131,35 @@ class Scheduler:
 
     def _note_cancel(self):
         # Called by Event.cancel for live heap entries. Once corpses
-        # are both numerous and the majority, rebuild the heap without
-        # them — in place, so a running loop's local alias stays valid.
+        # reach the adaptive threshold, rebuild the heap without them —
+        # in place, so a running loop's local alias stays valid.
         self._cancelled += 1
+        live = len(self._heap) - self._cancelled
         if (
             self._cancelled >= _COMPACT_MIN_CANCELLED
-            and self._cancelled * 2 >= len(self._heap)
+            and self._cancelled * 8 >= live
         ):
             heap = self._heap
             heap[:] = [entry for entry in heap if not entry[2].cancelled]
             heapq.heapify(heap)
             self._cancelled = 0
 
-    def run(self, until=None, max_events=None):
+    def run(self, until=None, max_events=None, inclusive=True):
         """Execute events in order.
 
         Stops when the queue drains, when simulated time would pass
         ``until`` (the clock is then advanced exactly to ``until``), or
         after ``max_events`` callbacks. Returns the number of callbacks
         executed during this call.
+
+        ``inclusive`` controls the boundary: by default an event
+        scheduled exactly at ``until`` fires during this call. With
+        ``inclusive=False`` the run covers the half-open interval
+        ``[now, until)`` — events at exactly ``until`` stay queued (and
+        :meth:`next_event_time` reports them) while the clock still
+        advances to ``until``. Barrier-stepped shard kernels rely on
+        this: a frame injected for delivery exactly at an epoch
+        boundary must fire in the epoch that *starts* there.
         """
         if self._running:
             raise SchedulerError("scheduler is already running (reentrant run call)")
@@ -157,6 +169,7 @@ class Scheduler:
         m_depth = self._m_depth
         base = self._events_fired
         fired = 0
+        exclusive = not inclusive
         try:
             while heap:
                 if max_events is not None and fired >= max_events:
@@ -166,7 +179,9 @@ class Scheduler:
                     pop(heap)
                     self._cancelled -= 1
                     continue
-                if until is not None and time > until:
+                if until is not None and (
+                    time > until or (exclusive and time == until)
+                ):
                     break
                 pop(heap)
                 self._now = time

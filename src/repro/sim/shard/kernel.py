@@ -1,0 +1,165 @@
+"""The epoch-barrier kernel driving sharded simulation worlds.
+
+Conservative-lookahead PDES, barrier-synchronous flavour: with ``L``
+the minimum inter-cell link latency (the *lookahead*), a frame sent at
+time ``s`` cannot affect any other cell before ``s + L``. The kernel
+therefore advances all worlds in lock-step epochs::
+
+    B_{k+1} = min(horizon, max(B_k, E_k) + L)
+
+where ``E_k`` is the earliest pending activity across every world —
+the minimum over per-world next-event times and not-yet-injected
+envelope delivery times. Any send during epoch ``k`` happens inside an
+event at ``s >= E_k``, so its delivery lands at ``s + L >= B_{k+1}``:
+collecting outbound envelopes at the barrier and injecting them before
+the next epoch never delivers into the past.
+
+Epochs run the half-open interval ``[B_k, B_{k+1})`` (the scheduler's
+``inclusive=False`` mode) so a frame delivering exactly at a barrier
+fires in the epoch that starts there; the final epoch closes inclusive
+at the horizon, matching a plain ``run(until=horizon)``.
+
+Determinism: barriers are computed from a *global* minimum, so the
+epoch sequence — and with it the barrier-relative order in which
+deliveries are scheduled — is identical for every shard grouping,
+including the one-world serial run. Combined with envelope sort order
+(:func:`repro.net.partition.envelope_key`) this makes same-instant
+event ties resolve identically everywhere, which is what the parity
+suite pins down to the byte.
+
+Worlds are built from a picklable ``(params, shard_id)`` spec by a
+factory referenced as ``"module:attribute"`` — workers rebuild their
+world after the fork instead of unpickling live object graphs — and
+must provide the small duck-typed protocol the runners call:
+``next_event_time()``, ``inject(envelopes)``,
+``advance(until, inclusive)``, ``drain_outbound()``, ``artifacts()``.
+"""
+
+import importlib
+
+from repro.net.partition import envelope_key
+
+
+def resolve_factory(factory_ref):
+    """Resolve a ``"module:attribute"`` world-factory reference."""
+    module_name, _, attribute = factory_ref.partition(":")
+    if not module_name or not attribute:
+        raise ValueError(
+            "factory reference must look like 'module:attribute', got {!r}".format(
+                factory_ref
+            )
+        )
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+class InProcessRunner:
+    """Serial execution of every world inside the calling process."""
+
+    def __init__(self, factory_ref, params, shard_ids):
+        factory = resolve_factory(factory_ref)
+        self._worlds = [factory(params, shard_id) for shard_id in shard_ids]
+
+    def start(self):
+        return [world.next_event_time() for world in self._worlds]
+
+    def advance_all(self, until, inclusive, batches):
+        replies = []
+        for world, batch in zip(self._worlds, batches):
+            world.inject(batch)
+            world.advance(until, inclusive)
+            replies.append((world.drain_outbound(), world.next_event_time()))
+        return replies
+
+    def collect(self):
+        return [world.artifacts() for world in self._worlds]
+
+    def close(self):
+        pass
+
+
+class ShardedKernel:
+    """Drives one sharded run: build, epoch loop, artifact collection.
+
+    ``workers`` counts worker *processes*: 0 (or a single-shard plan)
+    runs every world in-process — the transparent serial fallback,
+    byte-identical by construction — while ``workers >= 2`` forks one
+    warm worker per shard (capped at the shard count). Worker processes
+    require the ``fork`` start method; platforms without it fall back
+    to in-process execution rather than risking a divergent spawn path.
+    """
+
+    def __init__(self, plan, factory_ref, params, workers=0):
+        self.plan = plan
+        self.factory_ref = factory_ref
+        self.params = params
+        self.workers_requested = int(workers)
+        self.workers = 0
+        self.now = 0.0
+        self.epochs = 0
+        self._runner = None
+        self._nexts = None
+
+    def start(self):
+        """Build every world (forking workers first when parallel)."""
+        if self._runner is not None:
+            raise RuntimeError("kernel already started")
+        shard_ids = list(self.plan.shards())
+        parallel = self.workers_requested >= 2 and self.plan.n_shards >= 2
+        if parallel:
+            from repro.sim.shard.pool import WorkerPoolRunner, fork_available
+
+            if fork_available():
+                self._runner = WorkerPoolRunner(self.factory_ref, self.params, shard_ids)
+                self.workers = len(shard_ids)
+        if self._runner is None:
+            self._runner = InProcessRunner(self.factory_ref, self.params, shard_ids)
+            self.workers = 0
+        self._nexts = self._runner.start()
+        return self
+
+    def run(self, until):
+        """Advance every world to ``until`` through lookahead epochs."""
+        if self._runner is None:
+            self.start()
+        plan = self.plan
+        lookahead = plan.lookahead
+        until = float(until)
+        n_shards = plan.n_shards
+        pending = [[] for _ in range(n_shards)]
+        while self.now < until:
+            earliest = None
+            for shard in range(n_shards):
+                bound = self._nexts[shard]
+                for envelope in pending[shard]:
+                    if bound is None or envelope[0] < bound:
+                        bound = envelope[0]
+                if bound is not None and (earliest is None or bound < earliest):
+                    earliest = bound
+            if earliest is None:
+                target, inclusive = until, True
+            else:
+                target = max(self.now, earliest) + lookahead
+                if target >= until:
+                    target, inclusive = until, True
+                else:
+                    inclusive = False
+            batches = [sorted(batch, key=envelope_key) for batch in pending]
+            replies = self._runner.advance_all(target, inclusive, batches)
+            pending = [[] for _ in range(n_shards)]
+            for shard, (outbound, next_time) in enumerate(replies):
+                self._nexts[shard] = next_time
+                for envelope in outbound:
+                    pending[plan.shard_of(envelope[3])].append(envelope)
+            self.now = target
+            self.epochs += 1
+        return self.now
+
+    def collect(self):
+        """Per-shard artifact dicts, in shard order."""
+        return self._runner.collect()
+
+    def close(self):
+        """Shut worker processes down (no-op for in-process runs)."""
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None

@@ -1,0 +1,131 @@
+"""Deterministic merge of per-shard artifacts into one run artifact.
+
+The merge rule is ``(time, cell, per-cell appearance order)``: each
+cell's trace is an ordered stream (its world appended records in fire
+order), and because a cell's event timeline is identical under every
+shard grouping, sorting the union by that key yields the same sequence
+whether the run used one world or eight. Counters merge by summation
+in sorted key order; both reductions are exact (integer or
+repr-preserved float), so the merged artifact — serialized with sorted
+keys — is byte-identical across groupings, which the parity suite and
+the CI ``shard-parity`` job compare with ``cmp``.
+
+World artifact input shape (produced by e.g.
+``repro.apps.scalecluster.ScaleShardWorld.artifacts``)::
+
+    {
+      "events_fired": int,
+      "now": float,
+      "cells": {cell_id: {...json-stable cell summary...}},
+      "trace": {cell_id: [(time, line), ...]},
+      "metrics": {counter_name: int},     # counter totals, {} if disabled
+    }
+"""
+
+import hashlib
+import json
+
+ARTIFACT_FORMAT = "repro-shard/1"
+
+
+def view_digest(members):
+    """Short stable digest of a sorted member tuple (view identity)."""
+    return hashlib.sha256(",".join(members).encode("utf-8")).hexdigest()[:16]
+
+
+def merge_trace(trace_by_cell):
+    """Flatten per-cell ``(time, line)`` streams into one ordered list.
+
+    Ties on ``time`` break by cell id, then by each cell's own append
+    order — all three components are grouping-invariant.
+    """
+    entries = []
+    for cell in sorted(trace_by_cell):
+        for index, (time, line) in enumerate(trace_by_cell[cell]):
+            entries.append((time, cell, index, line))
+    entries.sort(key=lambda entry: entry[:3])
+    return [entry[3] for entry in entries]
+
+
+def _merge_flow(cell_summaries):
+    """Sum per-cell flow totals; None when no cell ran a flow engine."""
+    merged = None
+    for summary in cell_summaries:
+        totals = summary.get("flow")
+        if totals is None:
+            continue
+        if merged is None:
+            merged = {"ticks": 0, "users": 0, "offered": 0, "served": 0,
+                      "lost": 0, "lost_by_reason": {}}
+        for field in ("ticks", "users", "offered", "served", "lost"):
+            merged[field] += totals[field]
+        for reason, count in totals["lost_by_reason"].items():
+            merged["lost_by_reason"][reason] = (
+                merged["lost_by_reason"].get(reason, 0) + count
+            )
+    if merged is not None:
+        merged["lost_by_reason"] = {
+            reason: merged["lost_by_reason"][reason]
+            for reason in sorted(merged["lost_by_reason"])
+        }
+    return merged
+
+
+def merge_artifacts(world_artifacts, meta=None):
+    """Combine per-shard world artifacts into the run artifact dict.
+
+    ``meta`` must only carry grouping-independent parameters (seed,
+    sizes, horizon, fault schedule — never the shard or worker count):
+    the whole point of the artifact is that serial and sharded runs
+    produce identical bytes.
+    """
+    cells = {}
+    trace_by_cell = {}
+    metrics = {}
+    events_fired = 0
+    sim_time = 0.0
+    for artifact in world_artifacts:
+        events_fired += artifact["events_fired"]
+        sim_time = max(sim_time, artifact["now"])
+        for cell, summary in artifact["cells"].items():
+            cells[int(cell)] = summary
+        for cell, records in artifact["trace"].items():
+            trace_by_cell[int(cell)] = records
+        for name, value in artifact["metrics"].items():
+            metrics[name] = metrics.get(name, 0) + value
+
+    cell_summaries = [cells[cell] for cell in sorted(cells)]
+    lines = merge_trace(trace_by_cell)
+    trace_sha = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+    live = sorted(name for summary in cell_summaries for name in summary["live"])
+    views = sorted({tuple(view) for summary in cell_summaries
+                    for view in summary["views"]})
+    coverage_clean = all(
+        summary["uncovered"] == 0 and summary["duplicated"] == 0
+        for summary in cell_summaries
+    )
+    converged = (
+        coverage_clean
+        and len(views) == 1
+        and views[0][1] == view_digest(tuple(live))
+    )
+
+    return {
+        "format": ARTIFACT_FORMAT,
+        "meta": dict(meta or {}),
+        "sim_time": repr(sim_time),
+        "events_fired": events_fired,
+        "converged": bool(converged),
+        "views": [list(view) for view in views],
+        "n_live": len(live),
+        "cells": {"{:02d}".format(cell): cells[cell] for cell in sorted(cells)},
+        "flow": _merge_flow(cell_summaries),
+        "metrics": {name: metrics[name] for name in sorted(metrics)},
+        "trace": {"records": len(lines), "sha256": trace_sha},
+    }
+
+
+def artifact_bytes(artifact):
+    """Canonical byte serialization (what parity compares and CI cmps)."""
+    return json.dumps(artifact, sort_keys=True, indent=2).encode("utf-8")

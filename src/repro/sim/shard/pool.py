@@ -1,0 +1,125 @@
+"""Warm worker-process pool for the sharded kernel.
+
+Edge infrastructure, deliberately outside the deterministic substrate:
+this is the only module under ``repro.sim`` allowed to touch real
+processes and pipes (a scoped SIM001 allowance — see
+``repro.analysis.engine.DEFAULT_SIM_EDGE``). Everything that crosses
+the boundary is plain picklable data: the ``(params, shard_id)`` world
+spec on the way in, envelope tuples and artifact dicts on the way out.
+Simulated state never leaves its owning process.
+
+Same shape as the ``repro.check`` campaign pool — ``fork`` start
+method, workers built warm once and reused every epoch — but with a
+persistent duplex pipe per worker instead of a task queue, because the
+kernel's epoch loop is a synchronous broadcast/collect exchange, not a
+bag of independent tasks. Commands:
+
+* ``("advance", (until, inclusive, envelopes))`` → the worker injects
+  the envelopes, runs its scheduler to the barrier, and replies
+  ``("ok", (outbound_envelopes, next_event_time))``;
+* ``("collect", None)`` → ``("ok", artifacts_dict)``;
+* ``("close", None)`` → the worker exits.
+
+Failures inside a worker are reported as ``("error", traceback_text)``
+and re-raised in the parent, so a crashed shard fails the run loudly
+instead of deadlocking the barrier.
+"""
+
+import multiprocessing
+import traceback
+
+from repro.sim.shard.kernel import resolve_factory
+
+
+def fork_available():
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _shard_worker_main(conn, factory_ref, params, shard_id):
+    try:
+        world = resolve_factory(factory_ref)(params, shard_id)
+        conn.send(("ok", world.next_event_time()))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    while True:
+        command, payload = conn.recv()
+        if command == "close":
+            conn.close()
+            return
+        try:
+            if command == "advance":
+                until, inclusive, envelopes = payload
+                world.inject(envelopes)
+                world.advance(until, inclusive)
+                reply = (world.drain_outbound(), world.next_event_time())
+            elif command == "collect":
+                reply = world.artifacts()
+            else:
+                raise ValueError("unknown shard worker command {!r}".format(command))
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+            conn.close()
+            return
+        conn.send(("ok", reply))
+
+
+class WorkerPoolRunner:
+    """One forked warm worker per shard, driven over persistent pipes."""
+
+    def __init__(self, factory_ref, params, shard_ids):
+        context = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for shard_id in shard_ids:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, factory_ref, params, shard_id),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    def _recv(self, conn):
+        try:
+            status, value = conn.recv()
+        except EOFError:
+            raise RuntimeError("shard worker died without a reply")
+        if status != "ok":
+            raise RuntimeError("shard worker failed:\n{}".format(value))
+        return value
+
+    def start(self):
+        return [self._recv(conn) for conn in self._conns]
+
+    def advance_all(self, until, inclusive, batches):
+        # Broadcast first, then collect: every worker runs its epoch
+        # concurrently while the parent blocks on the slowest reply.
+        for conn, batch in zip(self._conns, batches):
+            conn.send(("advance", (until, inclusive, batch)))
+        return [self._recv(conn) for conn in self._conns]
+
+    def collect(self):
+        for conn in self._conns:
+            conn.send(("collect", None))
+        return [self._recv(conn) for conn in self._conns]
+
+    def close(self):
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for process in self._procs:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+                process.join(timeout=5)
+        self._conns = []
+        self._procs = []

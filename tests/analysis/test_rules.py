@@ -174,3 +174,54 @@ def test_rules_on_repo_protocol_defaults():
         baseline=Baseline(),
     )
     assert result.findings == [], result.findings
+
+
+def edge_config(**overrides):
+    """fixture_config plus a scoped sim_edge allowance."""
+    config = fixture_config()
+    return LintConfig(
+        protocols=config.protocols,
+        sim_restricted=config.sim_restricted,
+        wallclock_exempt=config.wallclock_exempt,
+        random_exempt=config.random_exempt,
+        state_machines=config.state_machines,
+        **overrides
+    )
+
+
+def test_sim001_edge_allowance_is_per_file_with_reason():
+    config = edge_config(
+        sim_edge=(("sim001_bad.py", "declared process-boundary module"),)
+    )
+    linter = Linter(config, rules=[get_rule("SIM001")])
+    result = linter.run([fixture("sim001_bad.py")], baseline=Baseline())
+    assert result.findings == []
+    # The reason is on record for exactly that file, nothing else.
+    assert config.edge_reason("fixtures/sim001_bad.py") == (
+        "declared process-boundary module"
+    )
+    assert config.edge_reason("fixtures/other.py") is None
+    # Suffix matching is per path segment: no accidental widening.
+    assert config.edge_reason("fixtures/prefix_sim001_bad.py") is None
+
+
+def test_shard001_edge_allowance_skips_scope():
+    config = edge_config(sim_edge=(("shard001_bad.py", "worker pool"),))
+    linter = Linter(config, rules=[get_rule("SHARD001")])
+    result = linter.run([fixture("shard001_bad.py")], baseline=Baseline())
+    assert result.findings == []
+
+
+def test_default_sim_edge_names_only_the_worker_pool():
+    from repro.analysis.engine import DEFAULT_SIM_EDGE
+
+    config = LintConfig()
+    assert [suffix for suffix, _ in DEFAULT_SIM_EDGE] == [
+        "repro/sim/shard/pool.py"
+    ]
+    for suffix, reason in DEFAULT_SIM_EDGE:
+        assert reason  # every allowance carries its justification
+    # The rest of the shard package stays fully restricted.
+    assert config.edge_reason("src/repro/sim/shard/pool.py") is not None
+    assert config.edge_reason("src/repro/sim/shard/kernel.py") is None
+    assert config.edge_reason("src/repro/sim/shard/merge.py") is None

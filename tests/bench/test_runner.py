@@ -41,7 +41,12 @@ def test_bench_names_cover_required_hot_paths():
     # Every kernel bench has both a quick and a full scale; the n256/
     # n1024 benches live only in the scale mode (their own CI job).
     scale_only = set(SCALES["scale"])
-    assert scale_only == {"membership_change_n256", "balance_n1024"}
+    assert scale_only == {
+        "membership_change_n256",
+        "balance_n1024",
+        "kernel_serial_n256",
+        "kernel_sharded_n256",
+    }
     for mode in ("quick", "full"):
         assert set(SCALES[mode]) == set(names) - scale_only
     assert _bench_names(mode="scale") == sorted(scale_only)
@@ -82,6 +87,38 @@ def test_run_suite_selects_names_and_rejects_unknown():
     assert run.mode == "quick"
     with pytest.raises(ValueError):
         run_suite(mode="quick", names=["no_such_bench"], repeats=1)
+
+
+def test_run_suite_records_host_cpu_count():
+    import os
+
+    run = run_suite(mode="quick", names=["lan_fanout"], repeats=1)
+    assert run.host == {"cpus": os.cpu_count() or 1}
+    assert run.to_dict()["host"] == run.host
+    # Serial benches carry no workers key; multi-process ones do.
+    assert "workers" not in run.benches["lan_fanout"]
+
+
+def test_run_bench_records_worker_count_for_parallel_benches():
+    result = run_bench("campaign_parallel", mode="quick", repeats=1)
+    assert result["workers"] == SCALES["quick"]["campaign_parallel"]["workers"]
+
+
+def test_run_bench_scale_overrides_apply():
+    # The override path behind `repro bench --shards N`: retarget the
+    # recorded worker count without touching the committed scales.
+    result = run_bench(
+        "campaign_parallel", mode="quick", repeats=1, overrides={"workers": 1}
+    )
+    assert result["workers"] == 1
+    assert SCALES["quick"]["campaign_parallel"]["workers"] == 2
+
+
+def test_bench_run_from_dict_tolerates_missing_host():
+    # Trajectory entries recorded before host metadata existed.
+    run = BenchRun.from_dict({"benches": {}})
+    assert run.host == {}
+    assert "cpus=?" in run.format()
 
 
 def test_trajectory_roundtrip(tmp_path):

@@ -1,0 +1,245 @@
+"""The sharded kernel in isolation: plan, epochs, routing, determinism.
+
+A deliberately tiny "toy world" — cells ticking on their own schedulers
+and pinging their neighbour cell through envelopes — exercises the
+epoch-barrier loop without any of the cluster machinery, so a failure
+here localizes to the kernel itself. The headline assertion is the
+kernel's contract: the merged event log is identical under every shard
+grouping, including the forked worker pool.
+"""
+
+import sys
+import types
+
+import pytest
+
+from repro.net.partition import (
+    DEFAULT_INTER_LATENCY,
+    ShardPlan,
+    envelope_key,
+)
+from repro.sim.scheduler import Scheduler
+from repro.sim.shard.kernel import InProcessRunner, ShardedKernel, resolve_factory
+
+LOOKAHEAD = 0.05
+
+
+class ToyWorld:
+    """Minimal kernel-protocol world: per-cell ticks + neighbour pings.
+
+    Every cell ticks ``rounds`` times; each tick sends one envelope to
+    the next cell (mod ``n_cells``), which lands ``LOOKAHEAD`` later.
+    Cells log ticks and receipts with their virtual timestamps; the
+    merged log is the determinism witness.
+    """
+
+    def __init__(self, params, shard_id):
+        plan = ShardPlan(params["n_cells"], params["n_shards"], lookahead=LOOKAHEAD)
+        self.n_cells = params["n_cells"]
+        self.rounds = params["rounds"]
+        self.cells = plan.cells_of(shard_id)
+        self.scheduler = Scheduler()
+        self.outbound = []
+        self.log = {cell: [] for cell in self.cells}
+        self._seq = {}
+        for cell in self.cells:
+            self.scheduler.at(0.1 * (cell + 1), self._tick, cell, 0)
+
+    def _tick(self, cell, round_index):
+        self.log[cell].append((repr(self.scheduler.now), "tick", round_index))
+        dst = (cell + 1) % self.n_cells
+        seq = self._seq.get(cell, 0)
+        self._seq[cell] = seq + 1
+        self.outbound.append(
+            (
+                self.scheduler.now + LOOKAHEAD,
+                cell,
+                seq,
+                dst,
+                "",
+                0,
+                "",
+                0,
+                ("ping", cell, round_index),
+            )
+        )
+        if round_index + 1 < self.rounds:
+            self.scheduler.after(0.3, self._tick, cell, round_index + 1)
+
+    def _recv(self, envelope):
+        self.log[envelope[3]].append(
+            (repr(self.scheduler.now), "recv", envelope[1], envelope[8])
+        )
+
+    # -- the duck-typed kernel protocol ---------------------------------
+    def next_event_time(self):
+        return self.scheduler.next_event_time()
+
+    def inject(self, envelopes):
+        for envelope in envelopes:
+            self.scheduler.at(envelope[0], self._recv, envelope)
+
+    def advance(self, until, inclusive):
+        self.scheduler.run(until=until, inclusive=inclusive)
+
+    def drain_outbound(self):
+        out = self.outbound
+        self.outbound = []
+        return out
+
+    def artifacts(self):
+        return {"log": {cell: list(records) for cell, records in self.log.items()}}
+
+
+def toy_factory_ref():
+    """Register the toy factory under an importable module name.
+
+    ``resolve_factory`` goes through :func:`importlib.import_module`,
+    which consults ``sys.modules`` first — and forked workers inherit
+    the parent's modules — so a synthetic module works for both
+    runners without shipping a test-only module inside ``src``.
+    """
+    module = sys.modules.get("_repro_toyshard")
+    if module is None:
+        module = types.ModuleType("_repro_toyshard")
+        sys.modules["_repro_toyshard"] = module
+    module.make_world = ToyWorld
+    return "_repro_toyshard:make_world"
+
+
+def merged_log(kernel):
+    entries = []
+    for artifact in kernel.collect():
+        for cell, records in artifact["log"].items():
+            for index, record in enumerate(records):
+                entries.append((float(record[0]), cell, index, record))
+    entries.sort(key=lambda entry: entry[:3])
+    return [entry[3] for entry in entries]
+
+
+def run_toy(n_cells, n_shards, workers=0, rounds=4, horizon=2.0):
+    plan = ShardPlan(n_cells, n_shards, lookahead=LOOKAHEAD)
+    kernel = ShardedKernel(
+        plan,
+        toy_factory_ref(),
+        {"n_cells": n_cells, "n_shards": n_shards, "rounds": rounds},
+        workers=workers,
+    )
+    try:
+        kernel.start()
+        kernel.run(horizon)
+        return merged_log(kernel), kernel
+    finally:
+        kernel.close()
+
+
+# -- ShardPlan ----------------------------------------------------------
+
+
+def test_plan_is_balanced_contiguous_and_total():
+    plan = ShardPlan(8, 3)
+    widths = [len(plan.cells_of(shard)) for shard in plan.shards()]
+    assert widths == [3, 3, 2]
+    covered = [cell for shard in plan.shards() for cell in plan.cells_of(shard)]
+    assert covered == list(range(8))
+    for shard in plan.shards():
+        for cell in plan.cells_of(shard):
+            assert plan.shard_of(cell) == shard
+
+
+def test_plan_single_shard_owns_everything():
+    plan = ShardPlan(4, 1)
+    assert plan.cells_of(0) == (0, 1, 2, 3)
+    assert plan.lookahead == DEFAULT_INTER_LATENCY
+
+
+def test_plan_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        ShardPlan(4, 5)  # more shards than cells
+    with pytest.raises(ValueError):
+        ShardPlan(4, 0)
+    with pytest.raises(ValueError):
+        ShardPlan(0, 1)
+    with pytest.raises(ValueError):
+        ShardPlan(4, 2, lookahead=0.0)
+
+
+def test_envelope_key_orders_by_time_then_source_then_seq():
+    envelopes = [
+        (1.0, 2, 0, 9, "", 0, "", 0, "c"),
+        (1.0, 1, 1, 9, "", 0, "", 0, "b"),
+        (0.5, 3, 7, 9, "", 0, "", 0, "a"),
+        (1.0, 1, 0, 9, "", 0, "", 0, "d"),
+    ]
+    ordered = sorted(envelopes, key=envelope_key)
+    assert [env[8] for env in ordered] == ["a", "d", "b", "c"]
+
+
+def test_resolve_factory_rejects_malformed_refs():
+    with pytest.raises(ValueError):
+        resolve_factory("no-colon-here")
+    with pytest.raises(ValueError):
+        resolve_factory(":attr_only")
+
+
+# -- the kernel ---------------------------------------------------------
+
+
+def test_toy_world_produces_ticks_and_receipts():
+    log, kernel = run_toy(n_cells=4, n_shards=1)
+    kinds = {record[1] for record in log}
+    assert kinds == {"tick", "recv"}
+    # 4 cells x 4 rounds of ticks; every ping sent early enough lands.
+    assert sum(1 for record in log if record[1] == "tick") == 16
+    assert sum(1 for record in log if record[1] == "recv") == 16
+    assert kernel.workers == 0
+    assert kernel.epochs > 1
+
+
+def test_groupings_agree_serial_vs_two_vs_four_shards():
+    serial, _ = run_toy(n_cells=4, n_shards=1)
+    two, _ = run_toy(n_cells=4, n_shards=2)
+    four, _ = run_toy(n_cells=4, n_shards=4)
+    assert serial == two == four
+
+
+def test_forked_worker_pool_matches_in_process():
+    from repro.sim.shard.pool import fork_available
+
+    if not fork_available():
+        pytest.skip("fork start method unavailable")
+    in_process, _ = run_toy(n_cells=4, n_shards=2, workers=0)
+    forked, kernel = run_toy(n_cells=4, n_shards=2, workers=2)
+    assert kernel.workers == 2
+    assert forked == in_process
+
+
+def test_workers_below_two_stay_in_process():
+    _, kernel = run_toy(n_cells=4, n_shards=2, workers=1)
+    assert kernel.workers == 0
+
+
+def test_in_process_runner_round_trips_envelopes():
+    runner = InProcessRunner(
+        toy_factory_ref(), {"n_cells": 2, "n_shards": 2, "rounds": 1}, [0, 1]
+    )
+    nexts = runner.start()
+    assert nexts == [0.1, 0.2]
+    replies = runner.advance_all(0.25, False, [[], []])
+    (out0, next0), (out1, next1) = replies
+    # Both cells ticked once; each queued one ping for the other.
+    assert len(out0) == 1 and len(out1) == 1
+    assert out0[0][3] == 1 and out1[0][3] == 0
+    assert next0 is None and next1 is None
+    runner.close()
+
+
+def test_kernel_refuses_double_start():
+    plan = ShardPlan(2, 1)
+    kernel = ShardedKernel(
+        plan, toy_factory_ref(), {"n_cells": 2, "n_shards": 1, "rounds": 1}
+    )
+    kernel.start()
+    with pytest.raises(RuntimeError):
+        kernel.start()
+    kernel.close()
