@@ -33,6 +33,7 @@ SCALES = {
         "campaign_serial": {"trials": 3, "horizon": 25.0, "workers": 1},
         "campaign_parallel": {"trials": 4, "horizon": 25.0, "workers": 2},
         "burst_loss_failover": {"trials": 1, "horizon": 25.0},
+        "stabilize_after_corruption": {"trials": 1, "horizon": 25.0},
         "flow_engine_ticks": {"users": 100_000, "pools": 64, "duration": 30.0},
         "lint_full_project": {"subtree": "gcs"},
     },
@@ -44,6 +45,7 @@ SCALES = {
         "campaign_serial": {"trials": 6, "horizon": 40.0, "workers": 1},
         "campaign_parallel": {"trials": 8, "horizon": 40.0, "workers": 2},
         "burst_loss_failover": {"trials": 2, "horizon": 25.0},
+        "stabilize_after_corruption": {"trials": 2, "horizon": 25.0},
         "flow_engine_ticks": {"users": 1_000_000, "pools": 256, "duration": 60.0},
         "lint_full_project": {"subtree": None},
     },
@@ -453,6 +455,53 @@ def _udp_sink(payload, src, dst):
     return None
 
 
+def make_stabilize_after_corruption(scale):
+    """Self-stabilization round trip: corrupt, detect, repair, settle.
+
+    A directed corruption trial: all four corruption kinds land on a
+    stabilizing cluster (0.5s audit cadence) with a burst-loss window
+    in the middle, and the trial only passes if every corruption is
+    repaired — no persistent coverage violation, exact coverage at the
+    end. This prices the audit timers, the invariant sweeps, and the
+    repair paths (re-acquire, release, regather, counter re-derivation)
+    on the same trial machinery the ``--corrupt`` campaigns use.
+    """
+    from repro.check.schedule import (
+        BURST_LOSS,
+        CORRUPT_EPOCH,
+        CORRUPT_MEMBERSHIP,
+        CORRUPT_SEQUENCE,
+        CORRUPT_VIP_TABLE,
+        FaultEvent,
+        FaultSchedule,
+    )
+    from repro.check.trial import make_spec, run_trial
+
+    trials = scale["trials"]
+    horizon = scale["horizon"]
+
+    def run():
+        for index in range(trials):
+            schedule = FaultSchedule(
+                [
+                    FaultEvent(CORRUPT_VIP_TABLE, 1.0, host=0),
+                    FaultEvent(CORRUPT_MEMBERSHIP, 3.0, host=1),
+                    FaultEvent(BURST_LOSS, 5.0, duration=6.0, param=0.7),
+                    FaultEvent(CORRUPT_SEQUENCE, 8.0, host=2),
+                    FaultEvent(CORRUPT_EPOCH, 11.0, host=3),
+                ],
+                horizon=horizon,
+            )
+            result = run_trial(make_spec(47000 + index, schedule, corrupt=True))
+            if result["verdict"] != "pass":
+                raise RuntimeError(
+                    "corruption stabilize bench produced {}".format(result["verdict"])
+                )
+        return trials
+
+    return run, "trials"
+
+
 BENCHES = {
     "kernel_events": make_kernel_events,
     "kernel_timer_churn": make_kernel_timer_churn,
@@ -461,6 +510,7 @@ BENCHES = {
     "campaign_serial": make_campaign_serial,
     "campaign_parallel": make_campaign_parallel,
     "burst_loss_failover": make_burst_loss_failover,
+    "stabilize_after_corruption": make_stabilize_after_corruption,
     "flow_engine_ticks": make_flow_engine_ticks,
     "lint_full_project": make_lint_full_project,
     "membership_change_n256": make_membership_change_n256,

@@ -76,6 +76,7 @@ def build_trial_spec(params, index):
         horizon=params["horizon"],
         n_events=params["events_per_trial"],
         gray=bool(params["spec_overrides"].get("gray", False)),
+        corrupt=bool(params["spec_overrides"].get("corrupt", False)),
     )
     return make_spec(
         forked.seed,

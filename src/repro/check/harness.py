@@ -18,11 +18,17 @@ from repro.net.fault import FaultInjector
 from repro.net.host import Host
 from repro.net.lan import Lan
 from repro.net.linkfault import GilbertElliott
+from repro.stabilization import StabilizationConfig
 
 from repro.check import schedule as sched
 
+#: Audit cadence for corrupt clusters: fast enough that a corruption is
+#: caught well inside CORRUPT_VIOLATION_GRACE, slow enough that the
+#: audit itself stays background noise against the fast Table 1 ratios.
+CORRUPT_STABILIZE_INTERVAL = 0.5
 
-def fast_spread_config(suspicion_misses=1):
+
+def fast_spread_config(suspicion_misses=1, stabilization=None):
     """The test suite's aggressive timeouts (Table 1 ratios preserved)."""
     return SpreadConfig(
         fault_detection_timeout=0.5,
@@ -32,6 +38,7 @@ def fast_spread_config(suspicion_misses=1):
         form_timeout=0.3,
         install_timeout=0.3,
         suspicion_misses=suspicion_misses,
+        stabilization=stabilization,
     )
 
 
@@ -55,16 +62,38 @@ class CheckCluster:
 
     SUBNET = "10.9.0.0/24"
 
-    def __init__(self, sim, n_servers, n_vips, daemon_cls, wack_overrides=None, gray=False):
+    def __init__(
+        self,
+        sim,
+        n_servers,
+        n_vips,
+        daemon_cls,
+        wack_overrides=None,
+        gray=False,
+        corrupt=False,
+    ):
         self.sim = sim
         self.daemon_cls = daemon_cls
-        self.gray = bool(gray)
+        # Corruption trials need every gray hardening (supervisors catch
+        # wedges, K-miss detection rides out burst loss) plus the
+        # periodic self-stabilization audits that notice corrupted state.
+        self.corrupt = bool(corrupt)
+        self.gray = gray = bool(gray) or self.corrupt
+        stabilization = (
+            StabilizationConfig(interval=CORRUPT_STABILIZE_INTERVAL)
+            if self.corrupt
+            else None
+        )
         self.lan = Lan(sim, "check", self.SUBNET)
-        self.spread_config = fast_spread_config(suspicion_misses=2 if gray else 1)
+        self.spread_config = fast_spread_config(
+            suspicion_misses=2 if gray else 1, stabilization=stabilization
+        )
         self.vips = ["10.9.0.{}".format(100 + i) for i in range(n_vips)]
         overrides = {"maturity_timeout": 0.5, "balance_timeout": 1.5}
         if gray:
             overrides.update(GRAY_WACK_OVERRIDES)
+        if stabilization is not None:
+            overrides["stabilization"] = stabilization
         overrides.update(wack_overrides or {})
         self.wconfig = WackamoleConfig.for_vips(self.vips, **overrides)
         self.faults = FaultInjector(sim)
@@ -239,6 +268,42 @@ class CheckCluster:
             self.faults.wedge_daemon(spread)
             # Failsafe: if no supervisor replaced it by then, unwedge.
             self.sim.after(event.duration, self._unwedge, spread)
+        elif event.kind == sched.CORRUPT_VIP_TABLE:
+            wack = self.wacks[event.host]
+            if not wack.alive or not wack.host.alive:
+                return
+            self.faults.corrupt_vip_table(wack)
+        elif event.kind == sched.CORRUPT_MEMBERSHIP:
+            spread = self._corruptible_spread(event.host)
+            if spread is not None:
+                self.faults.corrupt_membership(spread)
+        elif event.kind == sched.CORRUPT_SEQUENCE:
+            spread = self._corruptible_spread(event.host)
+            if spread is not None:
+                self.faults.corrupt_sequence(spread)
+        elif event.kind == sched.CORRUPT_EPOCH:
+            spread = self._corruptible_spread(event.host)
+            if spread is not None:
+                self.faults.corrupt_epoch(spread)
+
+    def _corruptible_spread(self, index):
+        """The host's live, unwedged GCS daemon, or None.
+
+        Corrupting a dead or wedged daemon's state would be invisible
+        (the supervisor replaces it wholesale), so those injections are
+        skipped the same way a crash on a dead host is.
+        """
+        host = self.hosts[index]
+        spread = getattr(host, "spread_daemon", None)
+        if (
+            not host.alive
+            or spread is None
+            or not spread.alive
+            or not spread.started
+            or spread.wedged
+        ):
+            return None
+        return spread
 
     def _restore_nic(self, nic):
         if nic.host.alive and not nic.up:

@@ -28,9 +28,24 @@ SLOW_HOST = "slow_host"
 CLOCK_SKEW = "clock_skew"
 DAEMON_WEDGE = "daemon_wedge"
 
+# State-corruption kinds (docs/FAULTS.md, "State corruption"): protocol
+# state itself is mutated; the exact mutation is drawn at injection time
+# from the injector's dedicated ``fault/corrupt`` stream, so the
+# schedule only carries (kind, time, host).
+CORRUPT_VIP_TABLE = "corrupt_vip_table"
+CORRUPT_MEMBERSHIP = "corrupt_membership"
+CORRUPT_SEQUENCE = "corrupt_sequence"
+CORRUPT_EPOCH = "corrupt_epoch"
+
 KINDS = (NIC_FLAP, CRASH, PARTITION, LEAVE)
 GRAY_KINDS = (ASYM_PARTITION, BURST_LOSS, SLOW_HOST, CLOCK_SKEW, DAEMON_WEDGE)
-ALL_KINDS = KINDS + GRAY_KINDS
+CORRUPT_KINDS = (
+    CORRUPT_VIP_TABLE,
+    CORRUPT_MEMBERSHIP,
+    CORRUPT_SEQUENCE,
+    CORRUPT_EPOCH,
+)
+ALL_KINDS = KINDS + GRAY_KINDS + CORRUPT_KINDS
 
 
 class FaultEvent:
@@ -148,6 +163,7 @@ def generate_schedule(
     min_duration=3.0,
     max_duration=10.0,
     gray=False,
+    corrupt=False,
 ):
     """Draw a random schedule from ``rng`` (a ``random.Random`` stream).
 
@@ -164,6 +180,13 @@ def generate_schedule(
     the interaction of both regimes. ``gray=False`` draws exactly the
     historical sequence — existing campaign seeds reproduce their
     schedules bit-for-bit.
+
+    With ``corrupt=True`` the mix adds the four state-corruption kinds
+    on top of a thinned fail-stop + gray backbone. Corruption events
+    are instantaneous (``duration=0.0``) — recovery is the cluster's
+    job, not the schedule's — and carry no param: the concrete mutation
+    is drawn at injection time from the injector's ``fault/corrupt``
+    stream. ``corrupt`` takes precedence over ``gray``.
     """
     if n_hosts < 2:
         raise ValueError("schedules need at least 2 hosts")
@@ -172,7 +195,11 @@ def generate_schedule(
         time = rng.uniform(0.5, max(horizon - max_duration, 1.0))
         duration = rng.uniform(min_duration, max_duration)
         choice = rng.random()
-        if gray:
+        if corrupt:
+            events.append(
+                _corrupt_event(rng, n_hosts, time, duration, choice)
+            )
+        elif gray:
             events.append(
                 _gray_event(rng, n_hosts, time, duration, choice)
             )
@@ -231,3 +258,57 @@ def _gray_event(rng, n_hosts, time, duration, choice):
             param=rng.uniform(-5.0, 5.0),
         )
     return FaultEvent(DAEMON_WEDGE, time, host=rng.randrange(n_hosts), duration=duration)
+
+
+def _corrupt_event(rng, n_hosts, time, duration, choice):
+    """One event of the corruption mix (shared time/duration/choice draws).
+
+    Keeps a thinned fail-stop + gray backbone (~54%) so corruption
+    interacts with partitions, wedges and restarts rather than landing
+    on a quiet cluster, then spends the rest on the four corruption
+    kinds. Corruption events target a host index and heal instantly
+    (the repair is the system's job).
+    """
+    if choice < 0.08:
+        return FaultEvent(NIC_FLAP, time, host=rng.randrange(n_hosts), duration=duration)
+    if choice < 0.16:
+        return FaultEvent(CRASH, time, host=rng.randrange(n_hosts), duration=duration)
+    if choice < 0.22:
+        size = rng.randint(1, n_hosts - 1)
+        split = rng.sample(range(n_hosts), size)
+        return FaultEvent(PARTITION, time, duration=duration, split=split)
+    if choice < 0.30:
+        size = rng.randint(1, n_hosts - 1)
+        split = rng.sample(range(n_hosts), size)
+        return FaultEvent(ASYM_PARTITION, time, duration=duration, split=split)
+    if choice < 0.38:
+        return FaultEvent(
+            BURST_LOSS, time, duration=duration, param=rng.uniform(0.5, 0.95)
+        )
+    if choice < 0.44:
+        return FaultEvent(
+            SLOW_HOST,
+            time,
+            host=rng.randrange(n_hosts),
+            duration=duration,
+            param=rng.uniform(1.5, 3.0),
+        )
+    if choice < 0.48:
+        return FaultEvent(
+            CLOCK_SKEW,
+            time,
+            host=rng.randrange(n_hosts),
+            duration=duration,
+            param=rng.uniform(-5.0, 5.0),
+        )
+    if choice < 0.54:
+        return FaultEvent(
+            DAEMON_WEDGE, time, host=rng.randrange(n_hosts), duration=duration
+        )
+    if choice < 0.66:
+        return FaultEvent(CORRUPT_VIP_TABLE, time, host=rng.randrange(n_hosts))
+    if choice < 0.78:
+        return FaultEvent(CORRUPT_MEMBERSHIP, time, host=rng.randrange(n_hosts))
+    if choice < 0.90:
+        return FaultEvent(CORRUPT_SEQUENCE, time, host=rng.randrange(n_hosts))
+    return FaultEvent(CORRUPT_EPOCH, time, host=rng.randrange(n_hosts))

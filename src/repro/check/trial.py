@@ -12,6 +12,7 @@ from repro.check.harness import CheckCluster
 from repro.check.schedule import FaultSchedule
 from repro.obs.degraded import degraded_spans_as_dicts
 from repro.obs.episodes import episodes_as_dicts
+from repro.obs.stabilization import stabilization_spans_as_dicts
 from repro.sim.simulation import Simulation
 
 SPEC_DEFAULTS = {
@@ -26,6 +27,10 @@ SPEC_DEFAULTS = {
     # conflict resolution, daemon supervisors) against the gray fault
     # repertoire. Off reproduces the historical cluster exactly.
     "gray": False,
+    # Corruption mode: gray hardening plus periodic self-stabilization
+    # audits against the state-corruption repertoire. Off reproduces
+    # the historical cluster exactly.
+    "corrupt": False,
     # Flow plane: aggregate clients spread across the trial VIPs. Zero
     # keeps the historical trials byte-identical (no engine at all).
     "flow_users": 0,
@@ -37,6 +42,11 @@ SPEC_DEFAULTS = {
 # legitimate reconfiguration window of the hardened fast config
 # (K-miss detection ~0.7s plus a regather).
 GRAY_VIOLATION_GRACE = 1.5
+
+# Corruption trials get a longer grace: a corrupted table or view is
+# only discovered at the next stabilization audit tick (0.5s), and the
+# repair may itself need an ARP round or a regather on top.
+CORRUPT_VIOLATION_GRACE = 2.5
 
 
 def make_spec(seed, schedule, **overrides):
@@ -77,6 +87,7 @@ def run_trial(spec):
         spec["n_vips"],
         daemon_class(spec["fixture"]),
         gray=spec["gray"],
+        corrupt=spec["corrupt"],
     )
     if spec.get("flow_users"):
         cluster.attach_flow(spec["flow_users"], spec.get("flow_rate", 1.0))
@@ -97,12 +108,14 @@ def run_trial(spec):
     # config) to take them all back — while real protocol bugs persist
     # indefinitely. Fail-stop trials keep the historical instant-fail
     # semantics.
+    debounce = spec["gray"] or spec["corrupt"]
+    grace = CORRUPT_VIOLATION_GRACE if spec["corrupt"] else GRAY_VIOLATION_GRACE
     first_seen = {}
     while sim.now < end - 1e-9:
         sim.run_for(min(interval, end - sim.now))
         cluster.refresh_auditor()
         violations = cluster.auditor.check_by_view()
-        if violations and not spec["gray"]:
+        if violations and not debounce:
             return _failure(spec, sim, cluster, "violation", violations)
         first_seen = {
             (v.kind, v.slot): first_seen.get((v.kind, v.slot), sim.now)
@@ -111,7 +124,7 @@ def run_trial(spec):
         persistent = [
             v
             for v in violations
-            if sim.now - first_seen[(v.kind, v.slot)] >= GRAY_VIOLATION_GRACE - 1e-9
+            if sim.now - first_seen[(v.kind, v.slot)] >= grace - 1e-9
         ]
         if persistent:
             return _failure(spec, sim, cluster, "violation", persistent)
@@ -135,6 +148,7 @@ def run_trial(spec):
         "degraded": degraded_spans_as_dicts(sim.trace.records),
     }
     _attach_flow_totals(result, cluster)
+    _attach_stabilization(result, spec, sim)
     return result
 
 
@@ -143,6 +157,13 @@ def _attach_flow_totals(result, cluster):
     # artifacts (no "flow" on either side) still replay-compare clean.
     if cluster.flow_engine is not None:
         result["flow"] = cluster.flow_engine.fingerprint()
+
+
+def _attach_stabilization(result, spec, sim):
+    # Same conditional-key convention as the flow plane: only corrupt
+    # trials carry time-to-stabilize spans.
+    if spec.get("corrupt"):
+        result["stabilization"] = stabilization_spans_as_dicts(sim.trace.records)
 
 
 def _failure(spec, sim, cluster, verdict, violations):
@@ -159,6 +180,7 @@ def _failure(spec, sim, cluster, verdict, violations):
         "degraded": degraded_spans_as_dicts(sim.trace.records),
     }
     _attach_flow_totals(result, cluster)
+    _attach_stabilization(result, spec, sim)
     return result
 
 

@@ -109,6 +109,13 @@ def build_parser():
         "cluster (K-miss detection, ARP retries, supervisors)",
     )
     check.add_argument(
+        "--corrupt", action="store_true",
+        help="state-corruption campaign: arbitrary mutations of VIP "
+        "tables, membership views, ordering counters and epochs mixed "
+        "with gray faults, against the self-stabilizing cluster "
+        "(periodic invariant audits on top of the gray hardening)",
+    )
+    check.add_argument(
         "--artifacts", default="check-artifacts", metavar="DIR",
         help="directory for shrunk failure artifacts",
     )
@@ -361,6 +368,7 @@ def _run_check(args, out):
         shrink=not args.no_shrink,
         artifacts_dir=args.artifacts,
         gray=args.gray,
+        corrupt=args.corrupt,
     )
     out(report.format())
     return 0 if report.passed else 1

@@ -2,6 +2,7 @@
 
 from repro.core.placement import PLACEMENT_LINEAR, PLACEMENT_STRATEGIES
 from repro.net.addresses import IPAddress
+from repro.stabilization import StabilizationConfig
 
 
 class VipGroup:
@@ -96,6 +97,12 @@ class WackamoleConfig:
       held VIP): after the holddown, if the slot is still held and the
       conflict persists, the daemon with the losing (higher) member id
       releases. Detection itself is always on.
+    * ``stabilization`` — a :class:`repro.stabilization.StabilizationConfig`
+      gating the periodic local invariant audit: in RUN, the agreed
+      allocation table and the actual interface bindings must agree;
+      a lost binding is re-acquired (and re-announced), a binding the
+      table assigns elsewhere is released. The default (interval 0)
+      disables the audit — historical behaviour.
     """
 
     def __init__(
@@ -120,6 +127,7 @@ class WackamoleConfig:
         conflict_reannounce=False,
         arp_conflict_resolution=False,
         arp_conflict_holddown=1.0,
+        stabilization=None,
     ):
         self.vip_groups = tuple(vip_groups)
         if len({g.group_id for g in self.vip_groups}) != len(self.vip_groups):
@@ -159,6 +167,9 @@ class WackamoleConfig:
         self.conflict_reannounce = bool(conflict_reannounce)
         self.arp_conflict_resolution = bool(arp_conflict_resolution)
         self.arp_conflict_holddown = float(arp_conflict_holddown)
+        if stabilization is not None and not isinstance(stabilization, StabilizationConfig):
+            raise TypeError("stabilization must be a StabilizationConfig or None")
+        self.stabilization = stabilization or StabilizationConfig()
         unknown = set(self.prefer) - {g.group_id for g in self.vip_groups}
         if unknown:
             raise ValueError("preferences for unknown VIP groups: {}".format(sorted(unknown)))
@@ -203,6 +214,7 @@ class WackamoleConfig:
             "conflict_reannounce": self.conflict_reannounce,
             "arp_conflict_resolution": self.arp_conflict_resolution,
             "arp_conflict_holddown": self.arp_conflict_holddown,
+            "stabilization": self.stabilization,
         }
         fields.update(overrides)
         return WackamoleConfig(**fields)

@@ -90,6 +90,14 @@ class WackamoleDaemon(Process):
                 config.arp_reannounce_interval,
                 name="arp_reannounce",
             )
+        self._stabilize_timer = None
+        if config.stabilization.enabled:
+            self._stabilize_timer = self.periodic(
+                self._stabilize_audit,
+                config.stabilization.interval,
+                name="stabilize",
+            )
+        self.stabilize_repairs = 0
         # Wire-level duplicate-claim detection (docs/FAULTS.md): the
         # host's ARP service reports foreign claims on held VIPs here.
         # Detection is always on; resolution is config-gated.
@@ -190,6 +198,8 @@ class WackamoleDaemon(Process):
             self._arp_share_timer.start()
         if self._reannounce_timer is not None:
             self._reannounce_timer.start()
+        if self._stabilize_timer is not None:
+            self._stabilize_timer.start()
         client.join(self.config.group_name)
         self.trace("wackamole", "connected", daemon=self.spread.daemon_id)
 
@@ -209,6 +219,8 @@ class WackamoleDaemon(Process):
             self._arp_share_timer.stop()
         if self._reannounce_timer is not None:
             self._reannounce_timer.stop()
+        if self._stabilize_timer is not None:
+            self._stabilize_timer.stop()
         self._reconnect_timer.start(self.config.reconnect_interval)
 
     # ------------------------------------------------------------------
@@ -556,6 +568,38 @@ class WackamoleDaemon(Process):
         if self.client is None:
             return
         self.iface.reannounce_all()
+
+    # ------------------------------------------------------------------
+    # self-stabilization (docs/FAULTS.md, "State corruption")
+
+    def _stabilize_audit(self):
+        """Periodic local invariant audit: table vs. actual bindings.
+
+        In RUN the agreed allocation table and the interface bindings
+        must agree slot-for-slot (``_apply_table`` establishes exactly
+        that after every agreed message). Disagreement means local state
+        was corrupted: a slot the table assigns here but the interface
+        does not hold is re-acquired (rebind + ARP announce, repairing
+        the caches too); a held slot the table assigns elsewhere is a
+        physical duplicate and is released — the member every copy of
+        the agreed table names as owner keeps defending it. Both repairs
+        ride the existing acquire/release/announce paths.
+        """
+        if self.client is None or self.table is None or self.machine.state != RUN:
+            return
+        for slot in self.table.slots:
+            owner = self.table.owner(slot)
+            if owner == self.member_name and not self.iface.owns(slot):
+                self._stabilize_repair("binding_lost", slot)
+                self.iface.acquire(slot)
+            elif owner != self.member_name and self.iface.owns(slot):
+                self._stabilize_repair("binding_foreign", slot)
+                self.iface.release(slot)
+
+    def _stabilize_repair(self, invariant, slot):
+        self.stabilize_repairs += 1
+        self._metrics.inc("core.stabilize_repairs", node=self.host.name)
+        self.trace("stabilize", "repair", invariant=invariant, slot=slot)
 
     # ------------------------------------------------------------------
     # ARP cache sharing (§5.2)

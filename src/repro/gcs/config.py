@@ -13,6 +13,8 @@ client IPC latency) that the paper folds into the "minor overhead of
 Spread's group membership procedure".
 """
 
+from repro.stabilization import StabilizationConfig
+
 
 class SpreadConfig:
     """Timeouts and ports for a cluster of Spread-like daemons."""
@@ -30,6 +32,7 @@ class SpreadConfig:
         client_ipc_latency=0.0001,
         port=4803,
         suspicion_misses=1,
+        stabilization=None,
     ):
         if heartbeat_timeout >= fault_detection_timeout:
             raise ValueError(
@@ -60,6 +63,14 @@ class SpreadConfig:
         # K >= 2 rides out burst loss and slowed-but-alive hosts at the
         # cost of a wider detection window.
         self.suspicion_misses = int(suspicion_misses)
+        # Self-stabilization: periodic local invariant audit over the
+        # ordering counters and the installed membership view, repairing
+        # corrupted state locally (counter clamps) or escalating to a
+        # GATHER. interval 0 — the default — disables the audit timer
+        # entirely (byte-identical to the historical daemon).
+        if stabilization is not None and not isinstance(stabilization, StabilizationConfig):
+            raise TypeError("stabilization must be a StabilizationConfig or None")
+        self.stabilization = stabilization or StabilizationConfig()
 
     @classmethod
     def default(cls):

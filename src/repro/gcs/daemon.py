@@ -63,6 +63,14 @@ class SpreadDaemon(Process):
         self._heartbeat_timer = self.periodic(
             self._send_heartbeat, self.config.heartbeat_timeout, name="heartbeat"
         )
+        self._stabilize_timer = None
+        if self.config.stabilization.enabled:
+            self._stabilize_timer = self.periodic(
+                self._stabilize_audit,
+                self.config.stabilization.interval,
+                name="stabilize",
+            )
+        self.stabilize_repairs = 0
         self.started = False
         # Gray fault: a wedged daemon is alive (port bound, process
         # scheduled) but neither receives nor sends protocol traffic —
@@ -86,6 +94,10 @@ class SpreadDaemon(Process):
         self.started = True
         first_beat = self.rng("heartbeat").uniform(0.0, self.config.heartbeat_timeout)
         self._heartbeat_timer.start(first_delay=first_beat)
+        if self._stabilize_timer is not None:
+            self._stabilize_timer.start(
+                first_delay=self.config.stabilization.interval + first_beat
+            )
         self.membership.start()
         self.trace("daemon", "start")
 
@@ -237,6 +249,39 @@ class SpreadDaemon(Process):
         if self.alive:
             self.trace("daemon", "suspect", peer=peer)
             self.membership.on_suspect(peer)
+
+    # ------------------------------------------------------------------
+    # self-stabilization (docs/FAULTS.md, "State corruption")
+
+    def _stabilize_audit(self):
+        """Periodic local invariant audit over ordering and membership.
+
+        Collects the layer audits (:meth:`ViewOrderer.stabilize_audit`,
+        :meth:`MembershipEngine.stabilize_audit`), traces every locally
+        applied repair, and — when configured — escalates findings that
+        only a view change can fix into a membership GATHER, whose
+        recovery digests rebuild the delivery state.
+        """
+        if not self.alive or not self.started or self.wedged:
+            return
+        repairs = []
+        escalations = []
+        if self.orderer is not None:
+            fixed, escalate = self.orderer.stabilize_audit()
+            repairs.extend(fixed)
+            if escalate is not None:
+                escalations.append("ordering: {}".format(escalate))
+        fixed, escalate = self.membership.stabilize_audit()
+        repairs.extend(fixed)
+        if escalate is not None:
+            escalations.append("membership: {}".format(escalate))
+        for invariant, was, now in repairs:
+            self.stabilize_repairs += 1
+            self.trace("stabilize", "repair", invariant=invariant, was=was, now=now)
+        if escalations and self.config.stabilization.escalate:
+            self.stabilize_repairs += 1
+            self.trace("stabilize", "repair", invariant="gather", reason=escalations[0])
+            self.membership.trigger_gather("stabilize: {}".format(escalations[0]))
 
     # ------------------------------------------------------------------
     # membership engine hooks

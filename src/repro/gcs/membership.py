@@ -275,6 +275,44 @@ class MembershipEngine:
         self.daemon.apply_install(install, old_view)
 
     # ------------------------------------------------------------------
+    # self-stabilization (docs/FAULTS.md, "State corruption")
+
+    def stabilize_audit(self):
+        """Local sanity audit of the installed view and the counter.
+
+        ``highest_counter`` must never fall below the installed view's
+        counter (a regression would let a future gather mint an old
+        ViewId that every peer rejects) — repaired by clamping. In
+        OPERATIONAL, the view must contain this daemon and must agree
+        with the failure detector's watch set: a phantom member is
+        watched by nobody (no JOIN ever armed a timer for it) and a
+        dropped member is watched without being in the view, so any
+        disagreement means the view list was corrupted. That cannot be
+        repaired locally — the true membership is a distributed fact —
+        so it is returned as an escalation reason; the caller resolves
+        it through :meth:`trigger_gather`, the protocol's universal
+        recovery path.
+
+        Returns ``(repairs, escalate_reason)`` where ``repairs`` is a
+        list of ``(invariant, was, now)`` triples already applied.
+        """
+        repairs = []
+        floor = self.view.view_id.counter
+        if self.highest_counter < floor:
+            repairs.append(("highest_counter", self.highest_counter, floor))
+            self.highest_counter = floor
+        escalate = None
+        if self.state == OPERATIONAL:
+            members = set(self.view.members)
+            if self.daemon.daemon_id not in members:
+                escalate = "self missing from installed view"
+            else:
+                expected = members - {self.daemon.daemon_id}
+                if expected != set(self.daemon.fd.watched):
+                    escalate = "view/detector disagreement"
+        return repairs, escalate
+
+    # ------------------------------------------------------------------
 
     def _cancel_all_timers(self):
         self._join_timer.stop()

@@ -112,7 +112,13 @@ class ViewOrderer:
 
     def _order(self, origin, msg_id, kind, group, payload, service=OrderedMsg.AGREED):
         seq = self._next_assign
-        self._next_assign += 1
+        # Self-stabilization guard: an uncorrupted sequencer never holds
+        # its next assignment in the log, so this loop is a no-op in
+        # every reachable state; after counter corruption it prevents a
+        # silent overwrite of an already-broadcast sequence.
+        while seq in self.log:
+            seq += 1
+        self._next_assign = seq + 1
         ordered = OrderedMsg(
             self.view_id, seq, origin, msg_id, kind, group, payload, service
         )
@@ -220,6 +226,57 @@ class ViewOrderer:
                 self.sequencer, NackMsg(self._daemon.daemon_id, self.view_id, missing)
             )
         self._nack_timer.start(self._daemon.config.gap_nack_delay)
+
+    # ------------------------------------------------------------------
+    # self-stabilization (docs/FAULTS.md, "State corruption")
+
+    def stabilize_audit(self):
+        """Re-derive the receipt/assignment counters from the log.
+
+        The log is the authoritative record: ``recv_aru`` must equal its
+        contiguous prefix, the sequencer's next assignment must sit past
+        its top, and the delivery point can never be negative. Each of
+        those is repaired locally (the counters are pure derivations).
+        A delivery point *ahead* of the contiguous prefix cannot be
+        repaired locally — rolling it back would redeliver — so it is
+        returned as an escalation reason for the daemon to resolve via a
+        membership GATHER (the install's recovery digests rebuild the
+        delivery state).
+
+        Returns ``(repairs, escalate_reason)`` where ``repairs`` is a
+        list of ``(invariant, was, now)`` triples already applied.
+        """
+        repairs = []
+        if self.frozen:
+            return repairs, None
+        contiguous = 0
+        while (contiguous + 1) in self.log:
+            contiguous += 1
+        if self.delivered_aru < 0:
+            repairs.append(("delivered_aru", self.delivered_aru, 0))
+            self.delivered_aru = 0
+        if self.recv_aru != contiguous:
+            repairs.append(("recv_aru", self.recv_aru, contiguous))
+            self.recv_aru = contiguous
+            self._member_arus[self._daemon.daemon_id] = contiguous
+            if self._announced_aru > contiguous:
+                self._announced_aru = contiguous
+        if self.is_sequencer and self.log:
+            top = max(self.log)
+            if self._next_assign <= top:
+                repairs.append(("next_assign", self._next_assign, top + 1))
+                self._next_assign = top + 1
+        escalate = None
+        if self.delivered_aru > contiguous:
+            escalate = "delivered_aru {} ahead of contiguous log {}".format(
+                self.delivered_aru, contiguous
+            )
+        elif repairs:
+            # Repaired counters may have been masking an unserviced gap.
+            self._deliver_ready()
+            if self._has_gap() and not self._nack_timer.armed:
+                self._nack_timer.start(self._daemon.config.gap_nack_delay)
+        return repairs, escalate
 
     # ------------------------------------------------------------------
     # view-change support

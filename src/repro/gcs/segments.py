@@ -44,6 +44,7 @@ any node holding the same view computes the same VIP allocation.
 """
 
 from repro.sim.process import Process
+from repro.stabilization import StabilizationConfig
 
 #: Default UDP port for the segment membership plane.
 SEGMENT_PORT = 4810
@@ -62,6 +63,7 @@ class SegmentConfig:  # repro: not-wire (local configuration, never dispatched)
         digest_interval=0.5,
         digest_timeout=2.5,
         port=SEGMENT_PORT,
+        stabilization=None,
     ):
         if int(segment_size) < 1:
             raise ValueError("segment_size must be >= 1, got {}".format(segment_size))
@@ -79,6 +81,13 @@ class SegmentConfig:  # repro: not-wire (local configuration, never dispatched)
         self.digest_interval = float(digest_interval)
         self.digest_timeout = float(digest_timeout)
         self.port = int(port)
+        # Self-stabilization: a leader periodically audits its own
+        # digest entry against its live epoch/alive state and the
+        # adopted view version, re-minting epochs past any regression.
+        # interval 0 (default) disables the audit — historical behaviour.
+        if stabilization is not None and not isinstance(stabilization, StabilizationConfig):
+            raise TypeError("stabilization must be a StabilizationConfig or None")
+        self.stabilization = stabilization or StabilizationConfig()
 
 
 class Fleet:  # repro: not-wire (static roster shared by reference, never sent)
@@ -278,6 +287,14 @@ class SegmentNode(Process):
         self._digest_timer = self.periodic(
             self._send_digests, self.config.digest_interval, name="seg_digest"
         )
+        self._stabilize_timer = None
+        if self.config.stabilization.enabled:
+            self._stabilize_timer = self.periodic(
+                self._stabilize_audit,
+                self.config.stabilization.interval,
+                name="seg_stabilize",
+            )
+        self.stabilize_repairs = 0
         self.started = False
 
     # ------------------------------------------------------------------
@@ -294,6 +311,8 @@ class SegmentNode(Process):
         self._leader_watch_timer.start(first_delay=self.config.leader_timeout + jitter)
         if self.node_name == self.fleet.initial_leader(self.segment):
             self._assume_leadership(initial=True)
+        if self._stabilize_timer is not None:
+            self._stabilize_timer.start(first_delay=self.config.stabilization.interval + jitter)
         if self.on_global_view is not None:
             self.on_global_view(self.global_view)
         self.trace("segments", "start", segment=self.segment)
@@ -561,6 +580,50 @@ class SegmentNode(Process):
         )
         for target in targets:
             self._unicast(target, digest)
+
+    # ------------------------------------------------------------------
+    # self-stabilization (docs/FAULTS.md, "State corruption")
+
+    def _stabilize_audit(self):
+        """Leader-side local invariant audit against epoch corruption.
+
+        Two invariants a leader can check with purely local state:
+
+        * its own digest entry must equal its live ``(epoch, alive)``
+          pair — corruption of either side desynchronises what the
+          leader believes from what it gossips;
+        * the merge of its digest map must not fall below the view
+          version it has already adopted (epochs only grow, so a lower
+          sum means the digest map was regressed).
+
+        Both repair by re-minting the segment epoch *past* the
+        regression — the same monotonic-mint rule `_on_digest` uses for
+        epoch handoff — and re-gossiping, so the fleet converges on the
+        repaired record. Member-side epoch regression needs no audit:
+        the next beacon overwrites it.
+        """
+        if not self.alive or not self.started or not self.is_leader:
+            return
+        repaired = None
+        epoch, alive = self._digests[self.segment]
+        if (epoch, alive) != (self._seg_epoch, self._seg_alive):
+            self._seg_epoch = max(epoch, self._seg_epoch) + 1
+            self._digests[self.segment] = (self._seg_epoch, self._seg_alive)
+            repaired = "digest_desync"
+        merged = merge_digests(self._digests)
+        if merged.version < self.global_view.version:
+            deficit = self.global_view.version - merged.version
+            self._seg_epoch += deficit + 1
+            self._digests[self.segment] = (self._seg_epoch, self._seg_alive)
+            repaired = "epoch_regression"
+        if repaired is not None:
+            self.stabilize_repairs += 1
+            self.trace(
+                "stabilize", "repair", invariant=repaired, epoch=self._seg_epoch
+            )
+            self._refresh_view()
+            self._send_digests()
+            self._send_beacons()
 
     def _refresh_view(self):
         view = merge_digests(self._digests)

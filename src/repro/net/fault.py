@@ -12,11 +12,33 @@ frame duplication/reordering, per-host slowdown, bounded clock skew, and
 daemon wedging — faults where the component degrades without dying, the
 regime the paper's clean disconnects never exercise.
 
+Beyond gray faults the injector carries *state corruption*: deterministic
+mutations of protocol state itself (VIP allocation tables, membership
+views, ordering counters, segment epochs) drawn from the dedicated
+``fault/corrupt`` RNG stream. These model the arbitrary-state premise of
+practically-self-stabilizing virtual synchrony — the cluster must
+converge back to exactly-once coverage from *any* reachable state, not
+just from clean crashes and partitions.
+
 Every injection appends a :class:`FaultRecord` to :attr:`FaultInjector.log`;
 records iterate as the historical ``(time, kind, target)`` triple and
 serialise via :meth:`FaultRecord.to_dict` into check artifacts, so a
 trial's exact fault timeline rides along with its verdict.
 """
+
+
+def _serialize_param(value):
+    """Normalise a fault param for deterministic JSON artifacts.
+
+    Corruption params are dicts (mutation descriptors); emit them with
+    sorted keys and tuples as lists so a JSON round trip compares equal
+    to a fresh run byte-for-byte.
+    """
+    if isinstance(value, dict):
+        return {key: _serialize_param(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_serialize_param(item) for item in value]
+    return value
 
 
 class FaultRecord:
@@ -41,7 +63,7 @@ class FaultRecord:
     def to_dict(self):
         record = {"time": self.time, "kind": self.kind, "target": self.target}
         if self.param is not None:
-            record["param"] = self.param
+            record["param"] = _serialize_param(self.param)
         return record
 
     def __repr__(self):
@@ -57,6 +79,19 @@ class FaultInjector:
     def __init__(self, sim):
         self.sim = sim
         self.log = []
+        self._corrupt_stream = None
+        self._ghost_counter = 0
+
+    def _corrupt_rng(self):
+        """The dedicated RNG stream behind every corruption draw.
+
+        Lazily forked from the simulation registry so a trial that never
+        injects corruption consumes no draws — schedules, replay, and
+        ddmin shrinking of the fail-stop/gray repertoire are unchanged.
+        """
+        if self._corrupt_stream is None:
+            self._corrupt_stream = self.sim.rng.stream("fault/corrupt")
+        return self._corrupt_stream
 
     def _record(self, kind, target, param=None):
         self.log.append(FaultRecord(self.sim.now, kind, target, param))
@@ -205,6 +240,184 @@ class FaultInjector:
             and client.daemon.alive
         ):
             client.kill()
+
+    # ------------------------------------------------------------------
+    # state corruption (see docs/FAULTS.md, "State corruption")
+    #
+    # These mutate protocol state directly — the arbitrary-state premise
+    # of practically-self-stabilizing virtual synchrony. Every mutation
+    # choice draws from the dedicated ``fault/corrupt`` stream and the
+    # exact mutation applied is recorded in the FaultRecord's param dict
+    # (serialised with sorted keys), so a trial's corruption timeline
+    # replays byte-identically.
+
+    def corrupt_vip_table(self, wack, mutation=None):
+        """Corrupt a Wackamole daemon's VIP allocation vs. its bindings.
+
+        Mutations (chosen from the corrupt stream when not forced):
+
+        * ``drop`` — unbind a held VIP group while the agreed table
+          still assigns it here (a lost binding: coverage hole until the
+          stabilization audit re-acquires);
+        * ``duplicate`` — force-bind a VIP group the table assigns to
+          another member (a physical duplicate the audit must release);
+        * ``poison_arp`` — plant a foreign MAC for a VIP in the host's
+          ARP cache (a client-side stale route the owner's periodic
+          re-announcement repairs).
+        """
+        rng = self._corrupt_rng()
+        table = getattr(wack, "table", None)
+        candidates = []
+        droppable = duplicable = ()
+        if table is not None and table.slots:
+            droppable = tuple(
+                slot
+                for slot in table.slots
+                if table.owner(slot) == wack.member_name and wack.iface.owns(slot)
+            )
+            duplicable = tuple(
+                slot
+                for slot in table.slots
+                if table.owner(slot) not in (None, wack.member_name)
+                and not wack.iface.owns(slot)
+            )
+            if droppable:
+                candidates.append("drop")
+            if duplicable:
+                candidates.append("duplicate")
+            candidates.append("poison_arp")
+        if mutation is None:
+            mutation = rng.choice(candidates) if candidates else "noop"
+        if mutation == "drop":
+            slot = droppable[rng.randrange(len(droppable))]
+            param = {"mutation": "drop", "slot": slot}
+            self._record("corrupt_vip_table", wack.name, param=param)
+            wack.iface.release(slot)
+        elif mutation == "duplicate":
+            slot = duplicable[rng.randrange(len(duplicable))]
+            param = {"mutation": "duplicate", "slot": slot}
+            self._record("corrupt_vip_table", wack.name, param=param)
+            wack.iface.acquire(slot)
+        elif mutation == "poison_arp":
+            from repro.net.addresses import MACAddress
+
+            slots = table.slots
+            slot = slots[rng.randrange(len(slots))]
+            address = wack.config.group(slot).addresses[0]
+            bogus = MACAddress(0xDEAD00000000 | rng.randrange(1, 0xFFFF))
+            param = {"mutation": "poison_arp", "slot": slot, "mac": str(bogus)}
+            self._record("corrupt_vip_table", wack.name, param=param)
+            wack.host.arp.cache.store(address, bogus)
+        else:
+            self._record("corrupt_vip_table", wack.name, param={"mutation": "noop"})
+
+    def corrupt_membership(self, daemon, mutation=None):
+        """Corrupt a GCS daemon's installed membership view.
+
+        * ``phantom`` — splice a member that does not exist into the
+          view list (nobody heartbeats for it, nothing watches it);
+        * ``drop`` — erase a live member from the view list.
+
+        Neither is locally repairable — the true membership is a
+        distributed fact — so the stabilization audit detects the
+        view/detector disagreement and escalates to a GATHER.
+        """
+        from repro.gcs.views import DaemonView
+
+        rng = self._corrupt_rng()
+        engine = daemon.membership
+        members = list(engine.view.members)
+        others = [member for member in members if member != daemon.daemon_id]
+        candidates = ["phantom"]
+        if others:
+            candidates.append("drop")
+        if mutation is None:
+            mutation = candidates[rng.randrange(len(candidates))]
+        if mutation == "drop" and others:
+            victim = others[rng.randrange(len(others))]
+            param = {"mutation": "drop", "member": victim}
+            self._record("corrupt_membership", daemon.name, param=param)
+            engine.view = DaemonView(
+                engine.view.view_id,
+                [member for member in members if member != victim],
+            )
+        else:
+            self._ghost_counter += 1
+            ghost = "ghost-{}".format(self._ghost_counter)
+            param = {"mutation": "phantom", "member": ghost}
+            self._record("corrupt_membership", daemon.name, param=param)
+            engine.view = DaemonView(engine.view.view_id, members + [ghost])
+
+    def corrupt_sequence(self, daemon, mutation=None):
+        """Skew a GCS daemon's ordering counters.
+
+        * ``recv_ahead`` / ``recv_behind`` — push the contiguous-receipt
+          point off the log's true prefix (repaired by re-derivation);
+        * ``delivered_ahead`` — skip the delivery point past messages
+          never applied (only a view change can repair: escalated);
+        * ``assign_regress`` — rewind the sequencer's next assignment
+          under already-broadcast sequences (repaired by clamping).
+        """
+        rng = self._corrupt_rng()
+        orderer = daemon.orderer
+        if orderer is None or orderer.frozen:
+            self._record("corrupt_sequence", daemon.name, param={"mutation": "noop"})
+            return
+        candidates = ["recv_ahead", "recv_behind", "delivered_ahead"]
+        if orderer.is_sequencer:
+            candidates.append("assign_regress")
+        if mutation is None:
+            mutation = candidates[rng.randrange(len(candidates))]
+        amount = rng.randrange(1, 5)
+        param = {"mutation": mutation, "amount": amount}
+        self._record("corrupt_sequence", daemon.name, param=param)
+        if mutation == "recv_ahead":
+            orderer.recv_aru += amount
+        elif mutation == "recv_behind":
+            orderer.recv_aru = max(0, orderer.recv_aru - amount)
+        elif mutation == "delivered_ahead":
+            orderer.delivered_aru += amount
+        elif mutation == "assign_regress":
+            orderer._next_assign = max(1, orderer._next_assign - amount)
+
+    def corrupt_epoch(self, node, amount=None):
+        """Regress an epoch-like counter (scale tier or flat tier).
+
+        For a :class:`repro.gcs.segments.SegmentNode` the segment epoch
+        (and, on a leader, its own digest record) is rewound — peer
+        leaders' gossip echoes the higher epoch back and the node
+        re-mints past it; the leader's stabilization audit covers the
+        single-segment case. For a flat-tier :class:`SpreadDaemon` the
+        membership ``highest_counter`` is rewound below the installed
+        view's counter, which would make the next gather mint a ViewId
+        every peer rejects — the stabilization audit clamps it back.
+        """
+        rng = self._corrupt_rng()
+        if amount is None:
+            amount = rng.randrange(1, 5)
+        if hasattr(node, "_seg_epoch"):
+            was = node._seg_epoch
+            node._seg_epoch = max(0, node._seg_epoch - amount)
+            param = {
+                "mutation": "segment_epoch",
+                "amount": amount,
+                "was": was,
+                "now": node._seg_epoch,
+            }
+            self._record("corrupt_epoch", node.name, param=param)
+            if node.is_leader:
+                node._digests[node.segment] = (node._seg_epoch, node._seg_alive)
+        else:
+            engine = node.membership
+            was = engine.highest_counter
+            engine.highest_counter = max(0, engine.highest_counter - amount)
+            param = {
+                "mutation": "view_counter",
+                "amount": amount,
+                "was": was,
+                "now": engine.highest_counter,
+            }
+            self._record("corrupt_epoch", node.name, param=param)
 
     # ------------------------------------------------------------------
     # scheduled faults

@@ -36,6 +36,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     TimeWeightedHistogram,
 )
+from repro.obs.stabilization import (
+    StabilizationSpan,
+    stabilization_spans,
+    stabilization_spans_as_dicts,
+)
 
 __all__ = [
     "Counter",
@@ -44,10 +49,13 @@ __all__ = [
     "Gauge",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
+    "StabilizationSpan",
     "TimeWeightedHistogram",
     "degraded_spans",
     "degraded_spans_as_dicts",
     "episodes_as_dicts",
     "extract_episodes",
     "first_complete_episode",
+    "stabilization_spans",
+    "stabilization_spans_as_dicts",
 ]

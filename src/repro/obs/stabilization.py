@@ -1,0 +1,157 @@
+"""Time-to-stabilize spans: corruption onset to self-repair.
+
+State-corruption faults (``docs/FAULTS.md``, "State corruption") have
+no healing action of their own — the cluster is expected to *notice*
+the corrupted state through its periodic stabilization audits and
+repair it through the ordinary protocol paths. This module stitches
+that loop out of the trace: each ``fault/injector corrupt_*`` record
+opens a span, and the first subsequent ``stabilize/repair`` record
+emitted by the corrupted process closes it. The span's duration is the
+time-to-stabilize the experiments table reports.
+
+The audit is not the only repair path. A corrupted view, counter or
+epoch is also rewritten wholesale when the daemon installs a fresh
+view — a dropped member's own heartbeats trigger a gather through
+``on_foreign_traffic`` before any audit tick fires — so those spans
+also close on the daemon's next ``membership/install`` record
+(``end_cause="view_change"``). A supervisor restart replaces the
+daemon, corrupted state and all (``end_cause="supervisor_restart"``),
+and a host crash does the same the hard way (``end_cause="crash"``).
+
+Spans can legitimately stay open (``end=None``):
+
+* a ``poison_arp`` mutation is repaired on the *client* side by the
+  owner's periodic gratuitous re-announcement, which emits no
+  stabilization record;
+* a ``noop`` mutation found nothing to corrupt.
+
+Like episode and degraded-span extraction this is a pure function of
+the trace, so the span lists ride along in check artifacts and must
+replay byte-identically (``repro check --replay`` compares them).
+"""
+
+CORRUPTION_EVENTS = (
+    "corrupt_vip_table",
+    "corrupt_membership",
+    "corrupt_sequence",
+    "corrupt_epoch",
+)
+
+#: Corruptions of GCS state that a fresh view install rewrites wholesale.
+_VIEW_SCOPED = ("corrupt_membership", "corrupt_sequence", "corrupt_epoch")
+
+
+def _round(value):
+    """Stable rounding for serialised times/durations (ns resolution)."""
+    return None if value is None else round(value, 9)
+
+
+class StabilizationSpan:
+    """One corruption's detect-and-repair window."""
+
+    __slots__ = ("kind", "target", "mutation", "start", "end", "end_cause", "invariant")
+
+    def __init__(self, kind, target, mutation, start):
+        self.kind = kind
+        self.target = target
+        self.mutation = mutation
+        self.start = start
+        self.end = None
+        self.end_cause = None
+        self.invariant = None
+
+    @property
+    def duration(self):
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def close(self, time, cause, invariant=None):
+        self.end = time
+        self.end_cause = cause
+        self.invariant = invariant
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "mutation": self.mutation,
+            "start": _round(self.start),
+            "end": _round(self.end),
+            "duration": _round(self.duration),
+            "end_cause": self.end_cause,
+            "invariant": self.invariant,
+        }
+
+    def __repr__(self):
+        return "StabilizationSpan({}, {}, {:.4f}..{})".format(
+            self.kind,
+            self.target,
+            self.start,
+            "open" if self.end is None else "{:.4f}".format(self.end),
+        )
+
+
+def _host_of(name):
+    """The host part of a daemon name ("spread@s2-r1" -> "s2")."""
+    return name.split("@", 1)[-1].split("-", 1)[0]
+
+
+def stabilization_spans(records):
+    """Stitch the trace into a list of :class:`StabilizationSpan`.
+
+    A span closes on the first ``stabilize``-category ``repair`` record
+    from the corrupted process (matched by name), or on a crash of that
+    process's host (``end_cause="crash"``). ``noop`` mutations never
+    open a span at all.
+    """
+    spans = []
+    open_spans = []
+    for record in records:
+        if record.category == "fault" and record.source == "injector":
+            event = record.event
+            target = record.details.get("target")
+            if event in CORRUPTION_EVENTS:
+                param = record.details.get("param") or {}
+                mutation = param.get("mutation")
+                if mutation == "noop":
+                    continue
+                spans.append(StabilizationSpan(event, target, mutation, record.time))
+                open_spans.append(spans[-1])
+            elif event == "crash":
+                dead = [
+                    span for span in open_spans if _host_of(span.target) == target
+                ]
+                for span in dead:
+                    span.close(record.time, "crash")
+                open_spans = [s for s in open_spans if s not in dead]
+        elif record.category == "stabilize" and record.event == "repair":
+            source = record.source
+            repaired = [span for span in open_spans if span.target == source]
+            if repaired:
+                invariant = record.details.get("invariant")
+                for span in repaired:
+                    span.close(record.time, "repair", invariant=invariant)
+                open_spans = [s for s in open_spans if s not in repaired]
+        elif record.category == "membership" and record.event == "install":
+            source = record.source
+            rewritten = [
+                span
+                for span in open_spans
+                if span.kind in _VIEW_SCOPED and span.target == source
+            ]
+            for span in rewritten:
+                span.close(record.time, "view_change")
+            open_spans = [s for s in open_spans if s not in rewritten]
+        elif record.category == "supervisor" and record.event == "restart_spread":
+            old = "spread@{}".format(record.details.get("old"))
+            replaced = [span for span in open_spans if span.target == old]
+            for span in replaced:
+                span.close(record.time, "supervisor_restart")
+            open_spans = [s for s in open_spans if s not in replaced]
+    return spans
+
+
+def stabilization_spans_as_dicts(records):
+    """``stabilization_spans`` serialised — the replayable artifact form."""
+    return [span.to_dict() for span in stabilization_spans(records)]

@@ -1,0 +1,51 @@
+"""Self-stabilization knobs (shared by core, gcs, and segments).
+
+"Practically-Self-Stabilizing Virtual Synchrony" (Dolev et al.) argues
+that a membership/ordering stack should converge from *any* reachable
+state, not just from the clean crash/partition faults the paper's
+experiments induce. The repo's corruption repertoire
+(:mod:`repro.net.fault`) perturbs protocol state directly — allocation
+tables vs. NIC bindings, membership views, ordering counters, segment
+epochs — and each protocol layer carries a periodic *local invariant
+audit* that detects out-of-invariant state and repairs it through the
+existing re-announcement and membership paths.
+
+One :class:`StabilizationConfig` instance rides on each layer's config
+(:class:`repro.core.config.WackamoleConfig`,
+:class:`repro.gcs.config.SpreadConfig`,
+:class:`repro.gcs.segments.SegmentConfig`). The default —
+``interval=0`` — disables the audit entirely, reproducing historical
+behaviour byte-for-byte; the check harness switches it on in
+``--corrupt`` campaigns.
+"""
+
+
+class StabilizationConfig:
+    """Periodic local-invariant audit knobs for one protocol layer.
+
+    * ``interval`` — seconds between audits; 0 (the default) disables
+      the audit timer entirely (historical behaviour).
+    * ``escalate`` — whether an audit finding that cannot be repaired
+      locally (delivery skipped past the log, view/detector
+      disagreement) may escalate into the layer's heavyweight recovery
+      path (a membership GATHER). Local counter clamps and binding
+      repairs are always applied when the audit runs.
+    """
+
+    __slots__ = ("interval", "escalate")
+
+    def __init__(self, interval=0.0, escalate=True):
+        if float(interval) < 0:
+            raise ValueError("interval must be >= 0, got {}".format(interval))
+        self.interval = float(interval)
+        self.escalate = bool(escalate)
+
+    @property
+    def enabled(self):
+        """True when the periodic audit should run."""
+        return self.interval > 0
+
+    def __repr__(self):
+        return "StabilizationConfig(interval={}, escalate={})".format(
+            self.interval, self.escalate
+        )

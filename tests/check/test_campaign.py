@@ -180,3 +180,42 @@ def test_gray_flag_changes_schedules_but_not_seeds():
     assert [s["seed"] for s in plain] == [s["seed"] for s in gray]
     assert plain[0]["schedule"] != gray[0]["schedule"]
     assert plain[0]["gray"] is False and gray[0]["gray"] is True
+
+
+# ----------------------------------------------------------------------
+# corruption campaigns (self-stabilizing cluster vs arbitrary state)
+
+
+def test_corrupt_campaign_is_clean_and_replays_identically(tmp_path):
+    kwargs = dict(
+        base_seed=20260806,
+        trials=2,
+        workers=1,
+        horizon=30.0,
+        events_per_trial=8,
+        artifacts_dir=tmp_path,
+        corrupt=True,
+    )
+    report = run_campaign(**kwargs)
+    assert report.passed
+    assert os.listdir(str(tmp_path)) == []
+    # Corrupt trials carry the detect-and-repair spans in their results.
+    assert all("stabilization" in result for result in report.results)
+    # Byte-identical re-run: mutation choices come from the dedicated
+    # fault/corrupt stream, so the campaign stays a pure function of
+    # its kwargs — spans, fault params and all.
+    again = run_campaign(**kwargs)
+    assert again.results == report.results
+    assert json.dumps(again.results, sort_keys=True) == json.dumps(
+        report.results, sort_keys=True
+    )
+
+
+def test_corrupt_flag_changes_schedules_but_not_seeds():
+    plain = build_specs(base_seed=3, trials=2, horizon=20.0, events_per_trial=5)
+    corrupt = build_specs(
+        base_seed=3, trials=2, horizon=20.0, events_per_trial=5, corrupt=True
+    )
+    assert [s["seed"] for s in plain] == [s["seed"] for s in corrupt]
+    assert plain[0]["schedule"] != corrupt[0]["schedule"]
+    assert plain[0]["corrupt"] is False and corrupt[0]["corrupt"] is True

@@ -6,6 +6,7 @@ from repro.check.schedule import (
     ALL_KINDS,
     BURST_LOSS,
     CLOCK_SKEW,
+    CORRUPT_KINDS,
     CRASH,
     GRAY_KINDS,
     KINDS,
@@ -133,3 +134,57 @@ def test_gray_event_params_are_bounded():
             assert 1.5 <= event.param <= 3.0
         elif event.kind == CLOCK_SKEW:
             assert -5.0 <= event.param <= 5.0
+
+
+# ----------------------------------------------------------------------
+# corruption-mix generation (docs/FAULTS.md, "State corruption")
+
+
+def test_corrupt_generation_is_deterministic():
+    a = generate_schedule(
+        RngRegistry(3).stream("s"), n_hosts=4, n_events=20, corrupt=True
+    )
+    b = generate_schedule(
+        RngRegistry(3).stream("s"), n_hosts=4, n_events=20, corrupt=True
+    )
+    assert a == b
+    assert len(a) == 20
+
+
+def test_corrupt_mix_draws_all_regimes():
+    schedule = generate_schedule(
+        RngRegistry(8).stream("s"), n_hosts=4, n_events=60, corrupt=True
+    )
+    kinds = {event.kind for event in schedule.events}
+    assert kinds & set(CORRUPT_KINDS)
+    # The fail-stop and gray backbones stay in the mix.
+    assert kinds & set(KINDS)
+    assert kinds & set(GRAY_KINDS)
+    assert kinds <= set(ALL_KINDS)
+
+
+def test_corruption_events_are_instant_and_carry_no_param():
+    """The concrete mutation is drawn at injection time from the
+    injector's fault/corrupt stream; the schedule only carries
+    (kind, time, host)."""
+    schedule = generate_schedule(
+        RngRegistry(8).stream("s"), n_hosts=4, n_events=60, corrupt=True
+    )
+    corruptions = [e for e in schedule.events if e.kind in CORRUPT_KINDS]
+    assert corruptions
+    for event in corruptions:
+        assert event.duration == 0.0
+        assert event.param is None
+        assert event.host is not None
+    restored = FaultSchedule.from_json(schedule.to_json())
+    assert restored == schedule
+
+
+def test_non_corrupt_generation_never_draws_corrupt_kinds():
+    """gray and plain mixes must reproduce their historical sequences —
+    existing campaign seeds depend on an unchanged draw order."""
+    for gray in (False, True):
+        schedule = generate_schedule(
+            RngRegistry(8).stream("s"), n_hosts=4, n_events=40, gray=gray
+        )
+        assert not any(e.kind in CORRUPT_KINDS for e in schedule.events)

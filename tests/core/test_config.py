@@ -61,3 +61,21 @@ def test_vip_group_equality_and_hash():
 def test_notify_ips_parsed():
     config = WackamoleConfig.for_vips(["10.0.0.1"], notify_ips=("10.0.0.254",))
     assert config.notify_ips == (IPAddress("10.0.0.254"),)
+
+
+def test_stabilization_defaults_off_and_rides_copy_for():
+    from repro.stabilization import StabilizationConfig
+
+    config = WackamoleConfig.for_vips(["10.0.0.1"])
+    assert not config.stabilization.enabled
+    assert config.stabilization.interval == 0.0
+    audited = WackamoleConfig.for_vips(
+        ["10.0.0.1"], stabilization=StabilizationConfig(interval=0.5)
+    )
+    assert audited.stabilization.enabled
+    clone = audited.copy_for(balance_timeout=9.0)
+    assert clone.stabilization is audited.stabilization
+    with pytest.raises(ValueError):
+        StabilizationConfig(interval=-1.0)
+    with pytest.raises(TypeError):
+        WackamoleConfig.for_vips(["10.0.0.1"], stabilization=0.5)

@@ -150,3 +150,48 @@ def test_skew_and_unskew_clock():
     assert hosts[0].local_time == sim.now
     kinds = [kind for _, kind, _ in injector.log]
     assert kinds == ["clock_skew", "clock_unskew"]
+
+
+# ----------------------------------------------------------------------
+# state corruption (docs/FAULTS.md, "State corruption")
+
+
+def test_dict_params_serialise_with_sorted_keys_and_plain_lists():
+    """Corruption params are dicts; to_dict must normalise them so a
+    JSON round trip compares equal to a fresh run byte-for-byte."""
+    import json
+
+    from repro.net.fault import FaultRecord
+
+    record = FaultRecord(
+        1.5,
+        "corrupt_vip_table",
+        "wack@h0",
+        param={"slot": "10.0.0.100", "mutation": "drop", "extra": ("a", "b")},
+    )
+    data = record.to_dict()
+    assert list(data["param"]) == ["extra", "mutation", "slot"]
+    assert data["param"]["extra"] == ["a", "b"]
+    dumped = json.dumps(data, sort_keys=True)
+    assert json.loads(dumped) == data
+
+
+def test_nested_param_serialisation_is_recursive():
+    from repro.net.fault import _serialize_param
+
+    value = {"b": {"z": 1, "a": (2, 3)}, "a": [{"y": 0, "x": 1}]}
+    normalised = _serialize_param(value)
+    assert list(normalised) == ["a", "b"]
+    assert list(normalised["b"]) == ["a", "z"]
+    assert normalised["b"]["a"] == [2, 3]
+    assert list(normalised["a"][0]) == ["x", "y"]
+
+
+def test_corruption_draws_come_from_dedicated_stream():
+    """A trial that never corrupts must not fork fault/corrupt at all,
+    and corruption draws must not perturb any other stream."""
+    sim, lan, hosts, injector = build()
+    assert injector._corrupt_stream is None
+    rng = injector._corrupt_rng()
+    assert injector._corrupt_stream is rng
+    assert rng is sim.rng.stream("fault/corrupt")

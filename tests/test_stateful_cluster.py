@@ -5,15 +5,25 @@ against one cluster, advancing simulated time between steps, and
 checks the agreed-membership coverage invariant after every rule. On
 teardown the cluster must quiesce back to full, exactly-once coverage
 (Properties 1 and 2 as a state-machine property).
+
+A second machine adds the state-corruption rules against a
+self-stabilizing cluster: corruptions legitimately open bounded
+coverage windows (until the next audit tick repairs them), so its
+invariant is debounced — a violation only fails once the same
+(kind, slot) has persisted across samples for longer than the
+campaign grace.
 """
 
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
 
-from helpers import build_wack_cluster, settle_wack
+from helpers import build_wack_cluster, fast_spread_config, settle_wack
 
+from repro.check.harness import GRAY_WACK_OVERRIDES
+from repro.check.trial import CORRUPT_VIOLATION_GRACE
 from repro.core.state import RUN
+from repro.stabilization import StabilizationConfig
 
 N = 4
 
@@ -102,3 +112,139 @@ WackamoleClusterMachine.TestCase.settings = settings(
 )
 
 TestWackamoleCluster = WackamoleClusterMachine.TestCase
+
+
+class StabilizingClusterMachine(RuleBasedStateMachine):
+    """Fault + state-corruption rules against a self-stabilizing cluster."""
+
+    def __init__(self):
+        super().__init__()
+        self.cluster = None
+        self._first_seen = {}
+
+    @initialize(seed=st.integers(0, 2**16))
+    def boot(self, seed):
+        stabilization = StabilizationConfig(interval=0.5)
+        overrides = dict(
+            GRAY_WACK_OVERRIDES, maturity_timeout=0.5, stabilization=stabilization
+        )
+        self.cluster = build_wack_cluster(
+            N,
+            seed=seed,
+            n_vips=5,
+            config=fast_spread_config(
+                suspicion_misses=2, stabilization=stabilization
+            ),
+            wack_overrides=overrides,
+        )
+        assert settle_wack(self.cluster)
+
+    # ------------------------------------------------------------------
+    # fail-stop rules (the corruption mix keeps a fail-stop backbone)
+
+    @rule(index=st.integers(0, N - 1))
+    def drop_an_interface(self, index):
+        self.cluster.faults.nic_down(self.cluster.hosts[index].nics[0])
+
+    @rule(index=st.integers(0, N - 1))
+    def restore_an_interface(self, index):
+        host = self.cluster.hosts[index]
+        if host.alive:
+            self.cluster.faults.nic_up(host.nics[0])
+
+    @rule(split=st.integers(1, N - 1))
+    def partition_lan(self, split):
+        self.cluster.faults.partition(
+            self.cluster.lan,
+            [self.cluster.hosts[:split], self.cluster.hosts[split:]],
+        )
+
+    @rule()
+    def heal_lan(self):
+        self.cluster.faults.heal(self.cluster.lan)
+
+    @rule(seconds=st.floats(0.2, 3.0))
+    def let_time_pass(self, seconds):
+        self.cluster.sim.run_for(seconds)
+
+    # ------------------------------------------------------------------
+    # corruption rules
+
+    def _live_wack(self, index):
+        wack = self.cluster.wacks[index]
+        if wack.alive and wack.host.alive:
+            return wack
+        return None
+
+    def _live_spread(self, index):
+        host = self.cluster.hosts[index]
+        spread = getattr(host, "spread_daemon", None)
+        if host.alive and spread is not None and spread.alive and spread.started:
+            return spread
+        return None
+
+    @rule(index=st.integers(0, N - 1))
+    def corrupt_vip_table(self, index):
+        wack = self._live_wack(index)
+        if wack is not None:
+            self.cluster.faults.corrupt_vip_table(wack)
+
+    @rule(index=st.integers(0, N - 1))
+    def corrupt_membership(self, index):
+        spread = self._live_spread(index)
+        if spread is not None:
+            self.cluster.faults.corrupt_membership(spread)
+
+    @rule(index=st.integers(0, N - 1))
+    def corrupt_sequence(self, index):
+        spread = self._live_spread(index)
+        if spread is not None:
+            self.cluster.faults.corrupt_sequence(spread)
+
+    @rule(index=st.integers(0, N - 1))
+    def corrupt_epoch(self, index):
+        spread = self._live_spread(index)
+        if spread is not None:
+            self.cluster.faults.corrupt_epoch(spread)
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def coverage_violations_never_persist(self):
+        """Debounced Property 1: corruption windows close within grace."""
+        if self.cluster is None:
+            return
+        now = self.cluster.sim.now
+        violations = self.cluster.auditor.check_by_view()
+        seen = {}
+        for violation in violations:
+            key = (violation.kind, violation.slot)
+            seen[key] = self._first_seen.get(key, now)
+            age = now - seen[key]
+            assert age < CORRUPT_VIOLATION_GRACE, "unrepaired: {}".format(violation)
+        self._first_seen = seen
+
+    def teardown(self):
+        if self.cluster is None:
+            return
+        self.cluster.faults.heal(self.cluster.lan)
+        for host in self.cluster.hosts:
+            if host.alive:
+                for nic in host.nics:
+                    self.cluster.faults.nic_up(nic)
+        live = [w for w in self.cluster.wacks if w.alive]
+        if not live:
+            return
+        # Properties 1+2 from an arbitrary corrupted state: the audits
+        # must still converge the cluster back to exactly-once coverage.
+        assert settle_wack(self.cluster, timeout=40.0)
+        for wack in live:
+            assert wack.machine.state == RUN and wack.mature
+        assert self.cluster.auditor.check() == []
+
+
+StabilizingClusterMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=12, deadline=None
+)
+
+TestStabilizingCluster = StabilizingClusterMachine.TestCase
